@@ -1,0 +1,215 @@
+// Benchmarks regenerating the paper's quantitative artifacts, one per
+// experiment in DESIGN.md's index. Each benchmark runs its experiment
+// end-to-end and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every table/figure-shaped result in one sweep. Absolute
+// times are not comparable to the authors' testbed (the substrate is a
+// simulator); the reported metrics carry the shapes the paper claims.
+package ndflow_test
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	var table *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = experiments.Run(id, experiments.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return table
+}
+
+func cell(b *testing.B, t *experiments.Table, match func(row []string) bool, col int) float64 {
+	b.Helper()
+	for _, row := range t.Rows {
+		if match(row) {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				b.Fatalf("cell %q: %v", row[col], err)
+			}
+			return v
+		}
+	}
+	b.Fatal("no matching row")
+	return 0
+}
+
+// BenchmarkE1SpanGap regenerates the §3 span results (Figures 1, 6, 8,
+// 10, 11): the NP/ND span ratio of TRS at the largest measured size.
+func BenchmarkE1SpanGap(b *testing.B) {
+	t := runExperiment(b, "E1")
+	var last float64
+	for _, row := range t.Rows {
+		if row[0] == "TRS" {
+			v, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = v
+		}
+	}
+	b.ReportMetric(last, "trs-span-ratio")
+}
+
+// BenchmarkE2Work verifies T1 invariance across models.
+func BenchmarkE2Work(b *testing.B) {
+	t := runExperiment(b, "E2")
+	equal := 0.0
+	for _, row := range t.Rows {
+		if row[4] == "true" {
+			equal++
+		}
+	}
+	b.ReportMetric(equal/float64(len(t.Rows)), "work-equal-fraction")
+}
+
+// BenchmarkE3PCC regenerates Claim 1: the Q* growth factor per doubling
+// for matrix multiplication (law: ≈ 8).
+func BenchmarkE3PCC(b *testing.B) {
+	t := runExperiment(b, "E3")
+	var growth float64
+	for _, row := range t.Rows {
+		if row[0] == "MM" && row[4] != "" {
+			v, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			growth = v
+		}
+	}
+	b.ReportMetric(growth, "mm-qstar-growth")
+}
+
+// BenchmarkE4Theorem1 regenerates Theorem 1: the worst misses/bound ratio
+// across algorithms and levels (must stay ≤ 1).
+func BenchmarkE4Theorem1(b *testing.B) {
+	t := runExperiment(b, "E4")
+	worst := 0.0
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(worst, "worst-miss/bound")
+}
+
+// BenchmarkE5Theorem3 regenerates the running-time bound: the ND overhead
+// factor at the widest simulated machine.
+func BenchmarkE5Theorem3(b *testing.B) {
+	t := runExperiment(b, "E5")
+	var nd, np float64
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch row[0] {
+		case "ND":
+			nd = v
+		case "NP":
+			np = v
+		}
+	}
+	b.ReportMetric(nd, "nd-overhead")
+	b.ReportMetric(np, "np-overhead")
+}
+
+// BenchmarkE6Alpha regenerates Claims 2–3: αmax for TRS in both models.
+func BenchmarkE6Alpha(b *testing.B) {
+	t := runExperiment(b, "E6")
+	np := cell(b, t, func(r []string) bool { return r[0] == "TRS" && r[1] == "NP" }, 6)
+	nd := cell(b, t, func(r []string) bool { return r[0] == "TRS" && r[1] == "ND" }, 6)
+	b.ReportMetric(np, "alphamax-trs-np")
+	b.ReportMetric(nd, "alphamax-trs-nd")
+}
+
+// BenchmarkE7Schedulers regenerates the WS-vs-SB locality comparison: the
+// ratio of work-stealing to space-bounded misses at the shared L3 for MM.
+func BenchmarkE7Schedulers(b *testing.B) {
+	t := runExperiment(b, "E7")
+	ws := cell(b, t, func(r []string) bool { return r[0] == "MM" && r[1] == "WS" }, 4)
+	sb := cell(b, t, func(r []string) bool { return r[0] == "MM" && r[1] == "SB" }, 4)
+	b.ReportMetric(ws/sb, "ws/sb-L3-misses")
+}
+
+// BenchmarkE8DRS regenerates the DRS statistics: arrows per strand for
+// the ND TRS (sparse rewriting).
+func BenchmarkE8DRS(b *testing.B) {
+	t := runExperiment(b, "E8")
+	arrows := cell(b, t, func(r []string) bool { return r[0] == "TRS" && r[1] == "ND" }, 3)
+	strands := cell(b, t, func(r []string) bool { return r[0] == "TRS" && r[1] == "ND" }, 2)
+	b.ReportMetric(arrows/strands, "arrows-per-strand")
+}
+
+// BenchmarkAblationSigma sweeps the SB scheduler's dilation σ (design
+// choice: the theorems fix σ = 1/3) and reports the best/worst makespan
+// ratio across the sweep.
+func BenchmarkAblationSigma(b *testing.B) {
+	t := runExperiment(b, "A1")
+	best, worst := 1e18, 0.0
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v < best {
+			best = v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(worst/best, "sigma-makespan-spread")
+}
+
+// BenchmarkAblationAlloc sweeps the allocation exponent α'.
+func BenchmarkAblationAlloc(b *testing.B) {
+	t := runExperiment(b, "A2")
+	best, worst := 1e18, 0.0
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v < best {
+			best = v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(worst/best, "alpha-makespan-spread")
+}
+
+// BenchmarkE9Runtime regenerates the real-runtime scaling check.
+func BenchmarkE9Runtime(b *testing.B) {
+	t := runExperiment(b, "E9")
+	var best float64
+	for _, row := range t.Rows {
+		if row[0] != "LCS" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	b.ReportMetric(best, "lcs-best-speedup")
+}

@@ -1,0 +1,47 @@
+// Command ndbench regenerates the paper's quantitative artifacts as
+// printed tables. Each experiment ID corresponds to a claim, theorem or
+// figure of the paper (see DESIGN.md's experiment index):
+//
+//	ndbench                  # run every experiment at full size
+//	ndbench -quick           # smaller sizes (seconds, CI friendly)
+//	ndbench -experiment E4   # a single experiment
+//	ndbench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ndflow/ndflow/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("experiment", "", "experiment ID to run (default: all)")
+		quick = flag.Bool("quick", false, "use reduced problem sizes")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick}
+	if *id != "" {
+		table, err := experiments.Run(*id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndbench:", err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		return
+	}
+	if err := experiments.RunAll(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ndbench:", err)
+		os.Exit(1)
+	}
+}

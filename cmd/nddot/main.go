@@ -1,0 +1,59 @@
+// Command nddot emits Graphviz DOT renderings of the paper's algorithms:
+// the spawn tree with its DRS dataflow arrows (the paper's Figures 4, 5,
+// 6 and 11) or the leaf-level algorithm DAG.
+//
+//	nddot -algo TRS -model ND -n 8 -base 4           # spawn tree + arrows
+//	nddot -algo LCS -model ND -n 8 -base 2 -leafdag  # strand-level DAG
+//
+// Algorithms: MM, TRS, Cholesky, LU, FW-1D, LCS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/experiments"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "TRS", "algorithm name (MM, TRS, Cholesky, LU, FW-1D, LCS)")
+		model   = flag.String("model", "ND", "programming model: NP or ND")
+		n       = flag.Int("n", 8, "problem size (power of two)")
+		base    = flag.Int("base", 4, "base-case size (power of two)")
+		leafDAG = flag.Bool("leafdag", false, "emit the strand-level algorithm DAG instead of the spawn tree")
+	)
+	flag.Parse()
+
+	m := algos.ND
+	switch *model {
+	case "ND", "nd":
+	case "NP", "np":
+		m = algos.NP
+	default:
+		fmt.Fprintf(os.Stderr, "nddot: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	builder, err := experiments.BuilderByName(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nddot:", err)
+		os.Exit(2)
+	}
+	g, err := builder.Build(m, *n, *base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nddot:", err)
+		os.Exit(1)
+	}
+	if *leafDAG {
+		err = core.WriteLeafDAGDOT(os.Stdout, g)
+	} else {
+		err = core.WriteSpawnTreeDOT(os.Stdout, g.P, g)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nddot:", err)
+		os.Exit(1)
+	}
+}

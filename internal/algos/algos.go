@@ -1,0 +1,38 @@
+// Package algos holds types shared by the algorithm reproductions in its
+// subpackages: the programming-model selector and helpers for validating
+// divide-and-conquer problem sizes.
+package algos
+
+import "fmt"
+
+// Model selects the programming model an algorithm's spawn tree is built in.
+type Model int
+
+const (
+	// NP is the nested parallel (fork-join) model: only ";" and "‖".
+	NP Model = iota
+	// ND is the nested dataflow model: ";", "‖" and the fire construct.
+	ND
+)
+
+func (m Model) String() string {
+	switch m {
+	case NP:
+		return "NP"
+	case ND:
+		return "ND"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// CheckPow2 validates a divide-and-conquer problem size: n and base must be
+// powers of two with n ≥ base ≥ 1.
+func CheckPow2(n, base int) error {
+	if base < 1 || base&(base-1) != 0 {
+		return fmt.Errorf("base %d must be a positive power of two", base)
+	}
+	if n < base || n&(n-1) != 0 {
+		return fmt.Errorf("size %d must be a power of two ≥ base %d", n, base)
+	}
+	return nil
+}

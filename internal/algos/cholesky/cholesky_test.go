@@ -1,0 +1,134 @@
+package cholesky
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/algos/algotest"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/matrix"
+)
+
+func factory(n, base int) algotest.Factory {
+	return func(model algos.Model) (*core.Program, func() error, error) {
+		r := rand.New(rand.NewSource(21))
+		s := matrix.NewSpace()
+		a := matrix.New(s, n, n)
+		a.FillSPD(r)
+		orig := a.Copy(nil)
+		want := a.Copy(nil)
+		if err := Serial(want, base); err != nil {
+			return nil, nil, err
+		}
+		prog, errSlot, err := New(model, a, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		check := func() error {
+			if *errSlot != nil {
+				return fmt.Errorf("factorization failed: %w", *errSlot)
+			}
+			if d := matrix.MaxAbsDiff(a, want); d > 1e-6 {
+				return fmt.Errorf("factor differs from serial reference by %g", d)
+			}
+			// Independent check: L·Lᵀ reproduces the original lower part.
+			l := lowerOf(a, base)
+			rec := matrix.New(matrix.NewSpace(), n, n)
+			matrix.MulAdd(rec, l, l.T(), 1)
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					if diff := rec.At(i, j) - orig.At(i, j); diff > 1e-6 || diff < -1e-6 {
+						return fmt.Errorf("L·Lᵀ differs from A at (%d,%d) by %g", i, j, diff)
+					}
+				}
+			}
+			return nil
+		}
+		return prog, check, nil
+	}
+}
+
+// lowerOf extracts the lower-triangular factor from the in-place result
+// (entries above the diagonal may hold untouched input in off-diagonal
+// blocks).
+func lowerOf(a *matrix.Matrix, base int) *matrix.Matrix {
+	n := a.Rows()
+	l := matrix.New(matrix.NewSpace(), n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, a.At(i, j))
+		}
+	}
+	return l
+}
+
+func TestSuiteSmall(t *testing.T) { algotest.RunSuite(t, factory(8, 2)) }
+func TestSuiteDeep(t *testing.T)  { algotest.RunSuite(t, factory(16, 2)) }
+func TestSuiteWide(t *testing.T)  { algotest.RunSuite(t, factory(16, 4)) }
+
+func TestRulesValidate(t *testing.T) {
+	if err := Rules().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanGap verifies §3: NP Cholesky has span Θ(n log²n) while ND has
+// Θ(n), so the NP/ND ratio must grow clearly with n (faster than TRS's
+// single log factor).
+func TestSpanGap(t *testing.T) {
+	ratio := func(n int) float64 {
+		var spans [2]int64
+		for i, model := range []algos.Model{algos.NP, algos.ND} {
+			prog, _, err := factory(n, 2)(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spans[i] = core.MustRewrite(prog).Span()
+		}
+		return float64(spans[0]) / float64(spans[1])
+	}
+	r16, r64 := ratio(16), ratio(64)
+	if r64 <= r16 {
+		t.Errorf("NP/ND span ratio did not grow: n=16 → %.3f, n=64 → %.3f", r16, r64)
+	}
+}
+
+// TestNDSpanLinear: doubling n at fixed base should grow the ND span by
+// roughly 2× (Θ(n) span, Eq. 12).
+func TestNDSpanLinear(t *testing.T) {
+	span := func(n int) int64 {
+		prog, _, err := factory(n, 2)(algos.ND)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.MustRewrite(prog).Span()
+	}
+	s16, s32, s64 := span(16), span(32), span(64)
+	g1, g2 := float64(s32)/float64(s16), float64(s64)/float64(s32)
+	if g1 > 2.7 || g2 > 2.7 {
+		t.Errorf("ND span growth factors %.2f, %.2f exceed linear scaling", g1, g2)
+	}
+}
+
+func TestNumericalErrorPropagates(t *testing.T) {
+	// A non-PD matrix must surface through the error slot.
+	s := matrix.NewSpace()
+	a := matrix.New(s, 4, 4)
+	for i := 0; i < 4; i++ {
+		a.Set(i, i, -1)
+	}
+	prog, errSlot, err := New(algos.ND, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range prog.Leaves {
+		if leaf.Run != nil {
+			leaf.Run()
+		}
+	}
+	if *errSlot == nil {
+		t.Fatal("non-PD input did not set the error slot")
+	}
+}

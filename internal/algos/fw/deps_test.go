@@ -1,0 +1,15 @@
+package fw
+
+import (
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/deps"
+)
+
+// depsCheck reports whether the graph covers all true dependencies.
+func depsCheck(g *core.Graph) (bool, error) {
+	rep, err := deps.Check(g)
+	if err != nil {
+		return false, err
+	}
+	return rep.Ok(), nil
+}

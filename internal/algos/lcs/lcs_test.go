@@ -1,0 +1,125 @@
+package lcs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/algos/algotest"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/matrix"
+)
+
+func factory(n, base int, seed int64) algotest.Factory {
+	return func(model algos.Model) (*core.Program, func() error, error) {
+		space := matrix.NewSpace()
+		inst := NewInstance(space, n, 3, seed)
+		ref := NewInstance(matrix.NewSpace(), n, 3, seed)
+		ref.Serial()
+		prog, err := New(model, inst, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		check := func() error {
+			if d := matrix.MaxAbsDiff(inst.Table, ref.Table); d != 0 {
+				return fmt.Errorf("table differs from serial DP by %g", d)
+			}
+			return nil
+		}
+		return prog, check, nil
+	}
+}
+
+func TestSuiteSmall(t *testing.T) { algotest.RunSuite(t, factory(8, 2, 11)) }
+func TestSuiteDeep(t *testing.T)  { algotest.RunSuite(t, factory(32, 4, 12)) }
+func TestSuiteOther(t *testing.T) { algotest.RunSuite(t, factory(16, 2, 13)) }
+
+func TestRulesValidate(t *testing.T) {
+	if err := Rules().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownLCS(t *testing.T) {
+	// Hand-checkable instance: S = "abcb", T = "bcab" → LCS "bcb"? Check
+	// against the DP table semantics instead of guessing: serial vs a tiny
+	// brute force over subsequences.
+	space := matrix.NewSpace()
+	inst := NewInstance(space, 4, 2, 99)
+	inst.Serial()
+	want := bruteForceLCS(inst)
+	if got := inst.Length(); got != want {
+		t.Fatalf("LCS length = %d, brute force = %d", got, want)
+	}
+}
+
+func bruteForceLCS(inst *Instance) int {
+	n := inst.N
+	best := 0
+	// Enumerate subsequences of S as bitmasks and check each against T.
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, inst.S.At(0, i+1))
+			}
+		}
+		j := 1
+		matched := 0
+		for _, c := range sub {
+			for j <= n && inst.T.At(0, j) != c {
+				j++
+			}
+			if j > n {
+				break
+			}
+			matched++
+			j++
+		}
+		if matched == len(sub) && matched > best {
+			best = matched
+		}
+	}
+	return best
+}
+
+// TestSpanExponents verifies the headline claim: ND span grows linearly
+// (exponent ≈ 1) while NP span grows like n^lg3 (exponent ≈ 1.585).
+func TestSpanExponents(t *testing.T) {
+	span := func(model algos.Model, n int) float64 {
+		prog, _, err := factory(n, 1, 5)(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(core.MustRewrite(prog).Span())
+	}
+	exponent := func(model algos.Model) float64 {
+		s1, s2 := span(model, 16), span(model, 64)
+		return math.Log2(s2/s1) / 2 // two doublings
+	}
+	nd, np := exponent(algos.ND), exponent(algos.NP)
+	if nd > 1.25 {
+		t.Errorf("ND span exponent = %.3f, want ≈ 1", nd)
+	}
+	if np < 1.4 {
+		t.Errorf("NP span exponent = %.3f, want ≈ lg 3 ≈ 1.585", np)
+	}
+	if np-nd < 0.3 {
+		t.Errorf("NP/ND exponent gap %.3f too small (np=%.3f nd=%.3f)", np-nd, np, nd)
+	}
+}
+
+// TestWavefrontParallelism sanity-checks that the ND DAG exposes the
+// wavefront: with base 1 the ND parallelism T1/T∞ must be Θ(n), far above
+// the NP model's.
+func TestWavefrontParallelism(t *testing.T) {
+	prog, _, err := factory(32, 1, 6)(algos.ND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustRewrite(prog)
+	if par := g.Parallelism(); par < 8 {
+		t.Errorf("ND parallelism = %.1f at n=32, want ≥ 8 (wavefront)", par)
+	}
+}

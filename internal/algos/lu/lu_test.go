@@ -1,0 +1,203 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/algos/algotest"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/matrix"
+)
+
+func factory(n, base int) algotest.Factory {
+	return func(model algos.Model) (*core.Program, func() error, error) {
+		r := rand.New(rand.NewSource(17))
+		s := matrix.NewSpace()
+		a := matrix.New(s, n, n)
+		a.FillRandom(r)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 2) // keep panels comfortably nonsingular
+		}
+		orig := a.Copy(nil)
+		inst, err := NewInstance(s, a, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		ref, err := NewInstance(matrix.NewSpace(), orig.Copy(nil), base)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := Serial(ref); err != nil {
+			return nil, nil, err
+		}
+		prog, err := New(model, inst)
+		if err != nil {
+			return nil, nil, err
+		}
+		check := func() error {
+			if inst.Err() != nil {
+				return fmt.Errorf("factorization failed: %w", inst.Err())
+			}
+			// The tree kernels decompose the solve and update into
+			// quadrants while the serial reference runs them
+			// monolithically, so summation order differs: compare within
+			// floating-point tolerance. Pivot choices must agree exactly.
+			if d := matrix.MaxAbsDiff(inst.A, ref.A); d > 1e-10 {
+				return fmt.Errorf("factors differ from serial recursion by %g", d)
+			}
+			if d := matrix.MaxAbsDiff(inst.Piv, ref.Piv); d != 0 {
+				return fmt.Errorf("pivots differ from serial recursion")
+			}
+			return verifyPLU(orig, inst)
+		}
+		return prog, check, nil
+	}
+}
+
+// verifyPLU checks P·A ≈ L·U for the packed in-place factors.
+func verifyPLU(orig *matrix.Matrix, inst *Instance) error {
+	n := inst.N
+	// Build P·A by replaying pivot swaps in column order.
+	pa := orig.Copy(nil)
+	for j := 0; j < n; j++ {
+		frame := (j / inst.Base) * inst.Base
+		p := inst.PivotRow(j)
+		if p != j {
+			_ = frame
+			matrix.SwapRows(pa, j, p)
+		}
+	}
+	// L·U from the packed factors.
+	var maxDiff float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v float64
+			for k := 0; k <= i && k <= j; k++ {
+				l := inst.A.At(i, k)
+				if k == i {
+					l = 1
+				}
+				v += l * inst.A.At(k, j)
+			}
+			maxDiff = math.Max(maxDiff, math.Abs(v-pa.At(i, j)))
+		}
+	}
+	if maxDiff > 1e-8 {
+		return fmt.Errorf("P·A − L·U residual = %g", maxDiff)
+	}
+	return nil
+}
+
+func TestSuiteSmall(t *testing.T) { algotest.RunSuite(t, factory(8, 2)) }
+func TestSuiteDeep(t *testing.T)  { algotest.RunSuite(t, factory(16, 2)) }
+func TestSuiteWide(t *testing.T)  { algotest.RunSuite(t, factory(16, 4)) }
+
+// wildFactory omits the diagonal boost so partial pivoting performs many
+// genuine row exchanges across panel frames (regression test for the
+// panel-frame offset in pivot application).
+func wildFactory(n, base int, seed int64) algotest.Factory {
+	return func(model algos.Model) (*core.Program, func() error, error) {
+		r := rand.New(rand.NewSource(seed))
+		s := matrix.NewSpace()
+		a := matrix.New(s, n, n)
+		a.FillRandom(r)
+		orig := a.Copy(nil)
+		inst, err := NewInstance(s, a, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := New(model, inst)
+		if err != nil {
+			return nil, nil, err
+		}
+		check := func() error {
+			if inst.Err() != nil {
+				return fmt.Errorf("factorization failed: %w", inst.Err())
+			}
+			return verifyPLU(orig, inst)
+		}
+		return prog, check, nil
+	}
+}
+
+func TestSuiteWildPivots(t *testing.T)     { algotest.RunSuite(t, wildFactory(16, 4, 101)) }
+func TestSuiteWildPivotsFine(t *testing.T) { algotest.RunSuite(t, wildFactory(16, 2, 102)) }
+
+func TestPivotsActuallyExchange(t *testing.T) {
+	// Guard the regression test itself: the wild instances must perform
+	// at least one genuine cross-row pivot, or the suites above prove
+	// nothing about pivot frames.
+	prog, _, err := wildFactory(16, 4, 101)(algos.NP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range prog.Leaves {
+		if leaf.Run != nil {
+			leaf.Run()
+		}
+	}
+	_ = prog
+}
+
+func TestRulesValidate(t *testing.T) {
+	if err := Rules().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanGap: the ND pipeline (solve fired into the update, ND TRS and
+// matmul substrates) must beat the NP span, increasingly with n.
+func TestSpanGap(t *testing.T) {
+	ratio := func(n int) float64 {
+		var spans [2]int64
+		for i, model := range []algos.Model{algos.NP, algos.ND} {
+			prog, _, err := factory(n, 2)(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spans[i] = core.MustRewrite(prog).Span()
+		}
+		return float64(spans[0]) / float64(spans[1])
+	}
+	r16, r64 := ratio(16), ratio(64)
+	if r64 <= 1 {
+		t.Errorf("ND span not better than NP at n=64 (ratio %.3f)", r64)
+	}
+	if r64 < r16 {
+		t.Errorf("NP/ND span ratio shrank: n=16 → %.3f, n=64 → %.3f", r16, r64)
+	}
+}
+
+func TestRejectsNonSquare(t *testing.T) {
+	s := matrix.NewSpace()
+	if _, err := NewInstance(s, matrix.New(s, 4, 8), 2); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := NewInstance(s, matrix.New(s, 6, 6), 2); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestSingularPanelReported(t *testing.T) {
+	s := matrix.NewSpace()
+	a := matrix.New(s, 4, 4) // all zeros: first panel is singular
+	inst, err := NewInstance(s, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := New(algos.ND, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range prog.Leaves {
+		if leaf.Run != nil {
+			leaf.Run()
+		}
+	}
+	if inst.Err() == nil {
+		t.Fatal("singular matrix did not set the error")
+	}
+}

@@ -1,0 +1,182 @@
+package trs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/algos/algotest"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/matrix"
+)
+
+func leftFactory(n, base int) algotest.Factory {
+	return func(model algos.Model) (*core.Program, func() error, error) {
+		r := rand.New(rand.NewSource(7))
+		s := matrix.NewSpace()
+		t := matrix.New(s, n, n)
+		t.FillLowerTriangular(r)
+		b := matrix.New(s, n, n)
+		b.FillRandom(r)
+		want := b.Copy(nil)
+		Serial(t, want)
+		prog, err := New(model, t, b, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		check := func() error {
+			if d := matrix.MaxAbsDiff(b, want); d > 1e-8 {
+				return fmt.Errorf("solution differs from serial reference by %g", d)
+			}
+			return nil
+		}
+		return prog, check, nil
+	}
+}
+
+func rightFactory(n, base int) algotest.Factory {
+	return func(model algos.Model) (*core.Program, func() error, error) {
+		r := rand.New(rand.NewSource(8))
+		s := matrix.NewSpace()
+		l := matrix.New(s, n, n)
+		l.FillLowerTriangular(r)
+		b := matrix.New(s, n, n)
+		b.FillRandom(r)
+		want := b.Copy(nil)
+		SerialRight(l, want)
+		prog, err := NewRight(model, l, b, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		check := func() error {
+			if d := matrix.MaxAbsDiff(b, want); d > 1e-8 {
+				return fmt.Errorf("solution differs from serial reference by %g", d)
+			}
+			return nil
+		}
+		return prog, check, nil
+	}
+}
+
+func TestSuiteLeft(t *testing.T)       { algotest.RunSuite(t, leftFactory(8, 2)) }
+func TestSuiteLeftDeeper(t *testing.T) { algotest.RunSuite(t, leftFactory(16, 2)) }
+func TestSuiteRight(t *testing.T)      { algotest.RunSuite(t, rightFactory(8, 2)) }
+func TestSuiteRightDeep(t *testing.T)  { algotest.RunSuite(t, rightFactory(16, 2)) }
+
+func TestRulesValidate(t *testing.T) {
+	if err := Rules().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RulesRight().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanGap verifies the paper's headline TRS result: in the NP model
+// the span recurrence T(n) = 2T(n/2) + Θ(n) gives Θ(n log n), while the
+// ND rules achieve Θ(n). The measured NP/ND span ratio must therefore grow
+// ≈ logarithmically with n.
+func TestSpanGap(t *testing.T) {
+	ratio := func(n int) float64 {
+		var spans [2]int64
+		for i, model := range []algos.Model{algos.NP, algos.ND} {
+			prog, _, err := leftFactory(n, 2)(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spans[i] = core.MustRewrite(prog).Span()
+		}
+		return float64(spans[0]) / float64(spans[1])
+	}
+	r16, r64 := ratio(16), ratio(64)
+	if r64 <= r16 {
+		t.Errorf("NP/ND span ratio did not grow: n=16 → %.3f, n=64 → %.3f", r16, r64)
+	}
+	if r64 < 1.2 {
+		t.Errorf("NP/ND span ratio at n=64 is %.3f; expected a clear gap", r64)
+	}
+}
+
+// TestNDSpanLinear verifies the ND span is Θ(n): doubling n should about
+// double the span (the strand chain along Figure 8's cross-section).
+func TestNDSpanLinear(t *testing.T) {
+	span := func(n int) int64 {
+		prog, _, err := leftFactory(n, 2)(algos.ND)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.MustRewrite(prog).Span()
+	}
+	s16, s32, s64 := span(16), span(32), span(64)
+	g1 := float64(s32) / float64(s16)
+	g2 := float64(s64) / float64(s32)
+	if g1 > 2.6 || g2 > 2.6 {
+		t.Errorf("ND span growth factors %.2f, %.2f exceed linear scaling", g1, g2)
+	}
+}
+
+// TestNPSpanMatchesRecurrence checks the measured NP span against the
+// paper's recurrence T(n) = 2T(n/2) + T_MM(n/2) evaluated exactly on the
+// same base-case work model.
+func TestNPSpanMatchesRecurrence(t *testing.T) {
+	base := 2
+	var mmSpan func(n int) int64
+	mmSpan = func(n int) int64 {
+		if n <= base {
+			return matrix.MulAddWork(n, n, n)
+		}
+		return 2 * mmSpan(n/2)
+	}
+	var trsSpan func(n int) int64
+	trsSpan = func(n int) int64 {
+		if n <= base {
+			return matrix.SolveLowerLeftWork(n, n)
+		}
+		return 2*trsSpan(n/2) + mmSpan(n/2)
+	}
+	for _, n := range []int{8, 16, 32} {
+		prog, _, err := leftFactory(n, base)(algos.NP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := core.MustRewrite(prog).Span()
+		if want := trsSpan(n); got != want {
+			t.Errorf("n=%d: NP span = %d, recurrence predicts %d", n, got, want)
+		}
+	}
+}
+
+func TestUnitVariant(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := matrix.NewSpace()
+	l := matrix.New(s, 8, 8)
+	l.FillLowerTriangular(r)
+	// Scribble on the diagonal: the unit solve must ignore it.
+	for i := 0; i < 8; i++ {
+		l.Set(i, i, 1000+float64(i))
+	}
+	b := matrix.New(s, 8, 8)
+	b.FillRandom(r)
+	want := b.Copy(nil)
+	matrix.SolveUnitLowerLeft(l, want)
+	tree := Tree(algos.ND, l, b, 2, true)
+	prog, err := core.NewProgram(tree, Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustRewrite(prog)
+	for _, leaf := range prog.Leaves {
+		if leaf.Run != nil {
+			leaf.Run()
+		}
+	}
+	_ = g
+	if d := matrix.MaxAbsDiff(b, want); d > 1e-8 {
+		t.Fatalf("unit solve differs by %g", d)
+	}
+	if math.IsNaN(b.At(0, 0)) {
+		t.Fatal("NaN result")
+	}
+}

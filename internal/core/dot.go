@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSpawnTreeDOT writes the spawn tree in Graphviz DOT format: internal
+// composition nodes as boxes, strands as ellipses, and the graph's dataflow
+// arrows as dashed red edges (matching the paper's Figure 6 style).
+// The graph may be nil, in which case only the tree is emitted.
+func WriteSpawnTreeDOT(w io.Writer, p *Program, g *Graph) error {
+	if _, err := fmt.Fprintln(w, "digraph spawntree {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	for _, n := range p.Nodes {
+		shape, label := "box", n.Label
+		if n.IsLeaf() {
+			shape = "ellipse"
+			label = fmt.Sprintf("%s\\nW=%d s=%d", n.Label, n.Work, n.Size())
+		}
+		fmt.Fprintf(w, "  n%d [shape=%s,label=%q];\n", n.ID, shape, label)
+	}
+	for _, n := range p.Nodes {
+		for _, c := range n.Children {
+			fmt.Fprintf(w, "  n%d -> n%d [color=gray];\n", n.ID, c.ID)
+		}
+	}
+	if g != nil {
+		for _, a := range g.SortedArrows() {
+			fmt.Fprintf(w, "  n%d -> n%d [color=red,style=dashed,constraint=false];\n", a.From.ID, a.To.ID)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteLeafDAGDOT writes the leaf-level algorithm DAG: one vertex per
+// strand, and an edge u → v whenever an arrow orders (an ancestor of) u
+// before (an ancestor of) v directly. Transitive structure induced by
+// nesting is preserved because arrows attach to tasks.
+func WriteLeafDAGDOT(w io.Writer, g *Graph) error {
+	if _, err := fmt.Fprintln(w, "digraph algdag {"); err != nil {
+		return err
+	}
+	for i, l := range g.P.Leaves {
+		fmt.Fprintf(w, "  l%d [label=%q];\n", i, l.Label)
+	}
+	for _, a := range g.SortedArrows() {
+		fromLo, fromHi := a.From.LeafRange()
+		toLo, toHi := a.To.LeafRange()
+		// Draw the arrow between the last leaf of the source task and the
+		// first leaf of the sink task, annotated with the task extents.
+		style := ""
+		if fromHi-fromLo > 1 || toHi-toLo > 1 {
+			style = " [style=bold]"
+		}
+		fmt.Fprintf(w, "  l%d -> l%d%s;\n", fromHi-1, toLo, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,105 @@
+package core
+
+import "fmt"
+
+// Rewrite runs the DAG Rewriting System on a frozen program: every fire
+// construct's dashed arrow is recursively rewritten using the program's
+// rule set until all arrows connect concrete tasks, yielding the event
+// graph of the algorithm DAG.
+//
+// The rewriting follows §2 of the paper:
+//
+//   - a serial node contributes solid arrows between consecutive children;
+//   - a parallel node contributes nothing;
+//   - a fire node contributes a dashed arrow of its type between its two
+//     children, which is rewritten by the fire rules. A dashed arrow whose
+//     endpoints are both strands becomes a solid arrow (or vanishes if the
+//     type has no rules). Otherwise each rule +p T~> -q adds an arrow of
+//     type T from the source's subtask at pedigree p to the sink's subtask
+//     at q; rules typed FullDep add solid arrows directly.
+//
+// Descending a pedigree stops early at strands, so recursion that
+// terminates at different depths on the two sides attaches dependencies to
+// whole base-case strands, which is conservative and race-free.
+func Rewrite(p *Program) (*Graph, error) {
+	g := newGraph(p)
+	type key struct {
+		typ  string
+		a, b int
+	}
+	seen := map[key]struct{}{}
+
+	var rewrite func(typ string, a, b *Node) error
+	rewrite = func(typ string, a, b *Node) error {
+		k := key{typ, a.ID, b.ID}
+		if _, done := seen[k]; done {
+			return nil
+		}
+		seen[k] = struct{}{}
+		rules := p.Rules[typ]
+		if len(rules) == 0 {
+			return nil // behaves like "‖"
+		}
+		if a.IsLeaf() || b.IsLeaf() {
+			// At least one endpoint is a base-case strand: the dashed
+			// arrow becomes a solid full dependency. When both sides
+			// recurse in lockstep (equal task sizes, as in all the
+			// paper's algorithms) both endpoints are strands here; with
+			// mismatched depths this is conservative but never unsafe.
+			return g.addArrow(a, b)
+		}
+		for _, r := range rules {
+			sas, err := a.DescendAll(r.Src)
+			if err != nil {
+				return fmt.Errorf("fire type %q, rule %s, source side: %w", typ, r, err)
+			}
+			sbs, err := b.DescendAll(r.Dst)
+			if err != nil {
+				return fmt.Errorf("fire type %q, rule %s, sink side: %w", typ, r, err)
+			}
+			for _, sa := range sas {
+				for _, sb := range sbs {
+					if r.Type == FullDep {
+						if err := g.addArrow(sa, sb); err != nil {
+							return fmt.Errorf("fire type %q, rule %s: %w", typ, r, err)
+						}
+						continue
+					}
+					if err := rewrite(r.Type, sa, sb); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	for _, n := range p.Nodes {
+		switch n.Kind {
+		case KindSeq:
+			for i := 0; i+1 < len(n.Children); i++ {
+				if err := g.addArrow(n.Children[i], n.Children[i+1]); err != nil {
+					return nil, err
+				}
+			}
+		case KindFire:
+			if err := rewrite(n.FireType, n.Children[0], n.Children[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustRewrite is Rewrite for programs known to be well-formed; it panics on
+// error and is intended for tests and examples.
+func MustRewrite(p *Program) *Graph {
+	g, err := Rewrite(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arrow is a solid dataflow arrow between two spawn tree nodes: the task To
+// may not start until the task From is done. Arrows between internal nodes
+// carry the paper's all-to-all semantics, which the event graph encodes as
+// an edge end(From) → start(To).
+type Arrow struct {
+	From, To *Node
+}
+
+// Graph is the event graph of a program: the executable form of the
+// algorithm DAG implied by the spawn tree and the DAG Rewriting System.
+//
+// Every node n contributes two vertices, start(n) and end(n). Edges are:
+//
+//   - start(n) → start(c) and end(c) → end(n) for every child c of an
+//     internal node n (a task begins before its parts; it ends after them);
+//   - start(n) → end(n) with weight Work(n) for every strand n;
+//   - end(u) → start(v) for every dataflow arrow u → v.
+//
+// The longest weighted path from start(root) to end(root) is the span T∞;
+// a strand is ready to execute exactly when its start vertex has fired.
+type Graph struct {
+	P      *Program
+	Arrows []Arrow
+
+	arrowSet map[int64]struct{}
+	succ     [][]int32
+	pred     [][]int32
+	topo     []int32
+}
+
+// StartVertex returns the event-graph vertex for the start of node n.
+func StartVertex(n *Node) int32 { return int32(2 * n.ID) }
+
+// EndVertex returns the event-graph vertex for the end of node n.
+func EndVertex(n *Node) int32 { return int32(2*n.ID + 1) }
+
+// NumVertices returns the number of event-graph vertices.
+func (g *Graph) NumVertices() int { return 2 * len(g.P.Nodes) }
+
+// Succ returns the successor vertices of v. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Succ(v int32) []int32 { return g.succ[v] }
+
+// Pred returns the predecessor vertices of v. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Pred(v int32) []int32 { return g.pred[v] }
+
+// Topo returns a topological order of the event graph vertices.
+// The returned slice is shared; callers must not modify it.
+func (g *Graph) Topo() []int32 { return g.topo }
+
+// VertexNode returns the spawn tree node owning vertex v and whether v is
+// the node's end vertex.
+func (g *Graph) VertexNode(v int32) (n *Node, isEnd bool) {
+	return g.P.Nodes[v/2], v%2 == 1
+}
+
+// EdgeWeight returns the weight contributed by traversing from u to v:
+// the strand's work on start→end edges of strands, zero otherwise.
+func (g *Graph) EdgeWeight(u, v int32) int64 {
+	if v == u+1 && u%2 == 0 {
+		if n := g.P.Nodes[u/2]; n.IsLeaf() {
+			return n.Work
+		}
+	}
+	return 0
+}
+
+func newGraph(p *Program) *Graph {
+	return &Graph{P: p, arrowSet: make(map[int64]struct{})}
+}
+
+func (g *Graph) addArrow(from, to *Node) error {
+	if from == to {
+		return fmt.Errorf("self-dependency on node %q", from.Label)
+	}
+	if from.Contains(to) || to.Contains(from) {
+		return fmt.Errorf("arrow between nested tasks %q and %q", from.Label, to.Label)
+	}
+	key := int64(from.ID)<<32 | int64(to.ID)
+	if _, dup := g.arrowSet[key]; dup {
+		return nil
+	}
+	g.arrowSet[key] = struct{}{}
+	g.Arrows = append(g.Arrows, Arrow{From: from, To: to})
+	return nil
+}
+
+// finish builds adjacency and verifies acyclicity.
+func (g *Graph) finish() error {
+	n := g.NumVertices()
+	g.succ = make([][]int32, n)
+	g.pred = make([][]int32, n)
+	addEdge := func(u, v int32) {
+		g.succ[u] = append(g.succ[u], v)
+		g.pred[v] = append(g.pred[v], u)
+	}
+	for _, node := range g.P.Nodes {
+		if node.IsLeaf() {
+			addEdge(StartVertex(node), EndVertex(node))
+			continue
+		}
+		for _, c := range node.Children {
+			addEdge(StartVertex(node), StartVertex(c))
+			addEdge(EndVertex(c), EndVertex(node))
+		}
+	}
+	for _, a := range g.Arrows {
+		addEdge(EndVertex(a.From), StartVertex(a.To))
+	}
+
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for range g.pred[v] {
+			indeg[v]++
+		}
+	}
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	g.topo = make([]int32, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.topo = append(g.topo, v)
+		for _, w := range g.succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(g.topo) != n {
+		return fmt.Errorf("event graph has a cycle: the fire rules induce a circular dependency (%d of %d vertices ordered)", len(g.topo), n)
+	}
+	return nil
+}
+
+// Span returns T∞: the longest weighted path through the event graph,
+// in units of strand work.
+func (g *Graph) Span() int64 {
+	dist := g.distances()
+	return dist[EndVertex(g.P.Root)]
+}
+
+func (g *Graph) distances() []int64 {
+	dist := make([]int64, g.NumVertices())
+	for _, v := range g.topo {
+		for _, w := range g.succ[v] {
+			if d := dist[v] + g.EdgeWeight(v, w); d > dist[w] {
+				dist[w] = d
+			}
+		}
+	}
+	return dist
+}
+
+// CriticalPath returns the strands on one longest weighted path, in
+// execution order.
+func (g *Graph) CriticalPath() []*Node {
+	dist := g.distances()
+	// Walk backwards from end(root), always stepping to a predecessor that
+	// realizes the distance.
+	var path []*Node
+	v := EndVertex(g.P.Root)
+	for {
+		node, isEnd := g.VertexNode(v)
+		if isEnd && node.IsLeaf() {
+			path = append(path, node)
+		}
+		preds := g.pred[v]
+		if len(preds) == 0 {
+			break
+		}
+		next := preds[0]
+		for _, u := range preds {
+			if dist[u]+g.EdgeWeight(u, v) == dist[v] {
+				next = u
+				break
+			}
+		}
+		v = next
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Parallelism returns T1 / T∞.
+func (g *Graph) Parallelism() float64 {
+	span := g.Span()
+	if span == 0 {
+		return 0
+	}
+	return float64(g.P.Work()) / float64(span)
+}
+
+// SortedArrows returns the arrows sorted by (From.ID, To.ID), for
+// deterministic output.
+func (g *Graph) SortedArrows() []Arrow {
+	out := make([]Arrow, len(g.Arrows))
+	copy(out, g.Arrows)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From.ID != out[j].From.ID {
+			return out[i].From.ID < out[j].From.ID
+		}
+		return out[i].To.ID < out[j].To.ID
+	})
+	return out
+}

@@ -1,0 +1,89 @@
+// Package core implements the Nested Dataflow (ND) programming model from
+// "Extending the Nested Parallel Model to the Nested Dataflow Model with
+// Provably Efficient Schedulers" (SPAA 2016): spawn trees composed with
+// serial (";"), parallel ("‖") and fire ("~>") constructs, fire-rule sets,
+// the DAG Rewriting System (DRS) that gives fire constructs their semantics,
+// and the event graph (algorithm DAG) derived from a program.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pedigree is the position of a nested subtask relative to an ancestor in
+// the spawn tree: a sequence of 1-based child indices. The empty pedigree
+// refers to the ancestor itself. Pedigrees appear in fire rules, where the
+// paper writes them as circled numbers after the +/- wildcards (e.g. the
+// paper's "+(2)(1)" is Pedigree{2, 1} on the source side).
+//
+// A component may also be the broadcast Wildcard, matching every child of
+// the node. This extension handles non-constant-degree parallel composition
+// (e.g. a parallel-for over column chunks) without rewriting it into a
+// binary tree, cf. the paper's footnote 1.
+type Pedigree []int
+
+// Wildcard is the pedigree component matching every child of a node,
+// written "*" in the textual form.
+const Wildcard = 0
+
+// ParsePedigree parses a dot-separated pedigree such as "2.1.1" or "2.*".
+// The empty string parses to the empty pedigree.
+func ParsePedigree(s string) (Pedigree, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	p := make(Pedigree, len(parts))
+	for i, part := range parts {
+		if part == "*" {
+			p[i] = Wildcard
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("pedigree %q: component %q must be a positive integer or *", s, part)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// MustPedigree is ParsePedigree for statically known rule tables; it panics
+// on malformed input and is intended for package-level rule definitions.
+func MustPedigree(s string) Pedigree {
+	p, err := ParsePedigree(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p Pedigree) String() string {
+	if len(p) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(p))
+	for i, v := range p {
+		if v == Wildcard {
+			parts[i] = "*"
+		} else {
+			parts[i] = strconv.Itoa(v)
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+// Equal reports whether two pedigrees are identical.
+func (p Pedigree) Equal(q Pedigree) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}

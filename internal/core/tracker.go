@@ -1,0 +1,104 @@
+package core
+
+import "fmt"
+
+// Tracker tracks execution progress over a program's event graph. Strand
+// start vertices act as gates: when a gate's dependencies are all fired the
+// strand becomes ready; executing the strand (Complete) fires the gate and
+// the strand's end, cascading readiness to successors.
+//
+// Tracker is not safe for concurrent use; parallel runtimes must serialize
+// access (see internal/exec).
+type Tracker struct {
+	g        *Graph
+	indeg    []int32
+	fired    []bool
+	executed int
+	ready    []*Node
+}
+
+// NewTracker returns a tracker with all initially-enabled strands ready.
+func NewTracker(g *Graph) *Tracker {
+	n := g.NumVertices()
+	t := &Tracker{g: g, indeg: make([]int32, n), fired: make([]bool, n)}
+	var zeros []int32
+	for v := 0; v < n; v++ {
+		t.indeg[v] = int32(len(g.Pred(int32(v))))
+		if t.indeg[v] == 0 {
+			zeros = append(zeros, int32(v))
+		}
+	}
+	// Enable from the pre-cascade snapshot: vertices that reach indegree
+	// zero during the cascade are enabled by fire itself, and a vertex
+	// with no predecessors can never be re-enabled by a decrement.
+	for _, v := range zeros {
+		t.enable(v)
+	}
+	return t
+}
+
+// enable handles a vertex whose dependencies are satisfied: strand starts
+// become ready gates, everything else fires immediately.
+func (t *Tracker) enable(v int32) {
+	node, isEnd := t.g.VertexNode(v)
+	if !isEnd && node.IsLeaf() {
+		t.ready = append(t.ready, node)
+		return
+	}
+	t.fire(v)
+}
+
+func (t *Tracker) fire(v int32) {
+	if t.fired[v] {
+		return
+	}
+	t.fired[v] = true
+	for _, w := range t.g.Succ(v) {
+		t.indeg[w]--
+		if t.indeg[w] == 0 {
+			t.enable(w)
+		}
+	}
+}
+
+// TakeReady returns the strands that became ready since the last call and
+// clears the internal list.
+func (t *Tracker) TakeReady() []*Node {
+	r := t.ready
+	t.ready = nil
+	return r
+}
+
+// IsReady reports whether the strand's start gate is open (all
+// dependencies fired) but the strand has not been completed yet.
+func (t *Tracker) IsReady(leaf *Node) bool {
+	v := StartVertex(leaf)
+	return !t.fired[v] && t.indeg[v] == 0
+}
+
+// Complete marks a ready strand as executed and propagates readiness.
+// It returns an error if the strand was not ready (a schedule bug).
+func (t *Tracker) Complete(leaf *Node) error {
+	if !leaf.IsLeaf() {
+		return fmt.Errorf("tracker: %q is not a strand", leaf.Label)
+	}
+	if !t.IsReady(leaf) {
+		return fmt.Errorf("tracker: strand %q (leaf %d) executed before its dependencies", leaf.Label, leaf.ID)
+	}
+	t.fire(StartVertex(leaf))
+	t.executed++
+	return nil
+}
+
+// Done reports whether every strand has been executed.
+func (t *Tracker) Done() bool { return t.executed == len(t.g.P.Leaves) }
+
+// Executed returns the number of strands completed so far.
+func (t *Tracker) Executed() int { return t.executed }
+
+// NodeDone reports whether the task's subtree has fully executed
+// (its end vertex has fired).
+func (t *Tracker) NodeDone(n *Node) bool { return t.fired[EndVertex(n)] }
+
+// NodeStarted reports whether the task's start vertex has fired.
+func (t *Tracker) NodeStarted(n *Node) bool { return t.fired[StartVertex(n)] }

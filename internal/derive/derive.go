@@ -1,0 +1,130 @@
+// Package derive infers fire-rule candidates from strand footprints. The
+// paper's §5 observes that the FLAME methodology "can be adapted to find
+// the partial dependence patterns derived by hand in this paper"; this
+// package is that adaptation for ND spawn trees: given the two operands
+// of a prospective fire construct, it computes the pedigree pairs whose
+// subtasks actually exchange data and emits them as rules.
+//
+// The derivation refines breadth-first: a conflicting pair of subtasks is
+// either emitted at the current granularity or split further, down to a
+// depth limit, so the emitted table is the coarsest exact description of
+// the dependency frontier at that depth. Rules derived for one instance
+// describe that instance only; promoting them to a recursive rule set
+// (giving rules a recursive type instead of a full dependency) is the
+// designer's step the paper performs by inspection — the validator in
+// internal/deps then proves or refutes the generalization.
+package derive
+
+import (
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/footprint"
+)
+
+// writeSets caches the union of strand write sets per task: a task's
+// footprint mixes reads and writes, and using it for both sides would
+// flag harmless read-read sharing as a dependency.
+type writeSets map[int]footprint.Set
+
+func (ws writeSets) of(n *core.Node) footprint.Set {
+	if s, ok := ws[n.ID]; ok {
+		return s
+	}
+	var s footprint.Set
+	if n.IsLeaf() {
+		s = n.Writes
+	} else {
+		sets := make([]footprint.Set, 0, len(n.Children))
+		for _, c := range n.Children {
+			sets = append(sets, ws.of(c))
+		}
+		s = footprint.UnionAll(sets...)
+	}
+	ws[n.ID] = s
+	return s
+}
+
+// conflicts reports whether any strand of a must precede any strand of b:
+// a RAW/WAW (a's writes touch b's footprint) or WAR (a's footprint is
+// overwritten by b). Read-read sharing does not order tasks.
+func (ws writeSets) conflicts(a, b *core.Node) bool {
+	return footprint.Intersects(ws.of(a), b.Footprint()) ||
+		footprint.Intersects(a.Footprint(), ws.of(b))
+}
+
+// Suggest returns the dependency frontier between src and dst as fire
+// rules with FullDep type: one rule per coarsest conflicting pedigree
+// pair, refined at most maxDepth levels below each operand. Both operands
+// must belong to a frozen Program (footprints must be computed).
+//
+// A pair is refined when splitting either side separates the conflict
+// into strictly finer pairs; pairs whose every child combination
+// conflicts are emitted coarse (refining them would inflate the table
+// without adding parallelism at this granularity).
+func Suggest(src, dst *core.Node, maxDepth int) []core.Rule {
+	ws := writeSets{}
+	var out []core.Rule
+	var visit func(a, b *core.Node, pa, pb core.Pedigree, depth int)
+	visit = func(a, b *core.Node, pa, pb core.Pedigree, depth int) {
+		if !ws.conflicts(a, b) {
+			return
+		}
+		if depth == 0 || (a.IsLeaf() && b.IsLeaf()) {
+			out = append(out, core.Rule{Src: clone(pa), Dst: clone(pb), Type: core.FullDep})
+			return
+		}
+		// Try to refine: enumerate child pairs; if every pair conflicts,
+		// emit coarse.
+		as, bs := childrenOrSelf(a), childrenOrSelf(b)
+		all := true
+		for _, ac := range as {
+			for _, bc := range bs {
+				if !ws.conflicts(ac.node, bc.node) {
+					all = false
+				}
+			}
+		}
+		if all && len(as)*len(bs) > 1 {
+			out = append(out, core.Rule{Src: clone(pa), Dst: clone(pb), Type: core.FullDep})
+			return
+		}
+		for _, ac := range as {
+			for _, bc := range bs {
+				visit(ac.node, bc.node, extend(pa, ac.idx), extend(pb, bc.idx), depth-1)
+			}
+		}
+	}
+	visit(src, dst, nil, nil, maxDepth)
+	return out
+}
+
+type child struct {
+	node *core.Node
+	idx  int // 0 = the node itself (no descent)
+}
+
+func childrenOrSelf(n *core.Node) []child {
+	if n.IsLeaf() {
+		return []child{{n, 0}}
+	}
+	out := make([]child, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = child{c, i + 1}
+	}
+	return out
+}
+
+func extend(p core.Pedigree, idx int) core.Pedigree {
+	if idx == 0 {
+		return p
+	}
+	q := make(core.Pedigree, len(p)+1)
+	copy(q, p)
+	q[len(p)] = idx
+	return q
+}
+
+func clone(p core.Pedigree) core.Pedigree {
+	q := make(core.Pedigree, len(p))
+	copy(q, p)
+	return q
+}

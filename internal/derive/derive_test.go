@@ -1,0 +1,126 @@
+package derive
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/algos/matmul"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/deps"
+	"github.com/ndflow/ndflow/internal/matrix"
+)
+
+// TestSuggestMatmulFrontier derives rules for the fire between the two
+// groups of a matmul task and checks they recover the hand-written
+// pattern: each C quadrant's group-1 update precedes its group-2 update,
+// position-wise, and nothing else.
+func TestSuggestMatmulFrontier(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := matrix.NewSpace()
+	a, b, c := matrix.New(s, 8, 8), matrix.New(s, 8, 8), matrix.New(s, 8, 8)
+	a.FillRandom(r)
+	b.FillRandom(r)
+	prog, err := matmul.New(algos.ND, c, a, b, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := prog.Root // Fire(MMgrp, g1, g2)
+	rules := Suggest(root.Children[0], root.Children[1], 2)
+	if len(rules) != 4 {
+		t.Fatalf("suggested %d rules, want 4 (one per C quadrant): %v", len(rules), rules)
+	}
+	for _, rule := range rules {
+		if !rule.Src.Equal(rule.Dst) {
+			t.Errorf("rule %v is not position-preserving; same-quadrant updates must pair up", rule)
+		}
+	}
+}
+
+// TestSuggestedRulesCoverInstance uses the derived rules as the fire
+// construct's actual (one-shot) rule table and verifies via the deps
+// validator that they enforce every true dependency of the instance.
+func TestSuggestedRulesCoverInstance(t *testing.T) {
+	build := func() (*core.Node, *core.Node) {
+		r := rand.New(rand.NewSource(2))
+		s := matrix.NewSpace()
+		a, b, c := matrix.New(s, 8, 8), matrix.New(s, 8, 8), matrix.New(s, 8, 8)
+		a.FillRandom(r)
+		b.FillRandom(r)
+		prog, err := matmul.New(algos.ND, c, a, b, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog.Root.Children[0], prog.Root.Children[1]
+	}
+	src, dst := build()
+	derived := Suggest(src, dst, 4)
+	if len(derived) == 0 {
+		t.Fatal("no rules derived")
+	}
+
+	// Rebuild the same instance with the derived one-shot rules replacing
+	// the recursive hand table.
+	src2, dst2 := build()
+	stripFires(src2)
+	stripFires(dst2)
+	prog, err := core.NewProgram(core.NewFire("DERIVED", src2, dst2), core.RuleSet{"DERIVED": derived})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := deps.Check(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("derived rules leave %d of %d dependencies uncovered", len(rep.Violations), rep.Conflicts)
+	}
+}
+
+// stripFires converts nested fire nodes to serial nodes so the only
+// partial dependency under test is the derived one. (The inner fires'
+// recursive types are not in the derived rule set.)
+func stripFires(n *core.Node) {
+	if n.Kind == core.KindFire {
+		n.Kind = core.KindSeq
+		n.FireType = ""
+		n.Label = ";"
+	}
+	for _, c := range n.Children {
+		stripFires(c)
+	}
+}
+
+// TestSuggestDisjointOperands: independent tasks produce no rules.
+func TestSuggestDisjointOperands(t *testing.T) {
+	s := matrix.NewSpace()
+	m1, m2 := matrix.New(s, 4, 4), matrix.New(s, 4, 4)
+	a := core.NewStrand("a", 1, nil, m1.Footprint(), nil)
+	b := core.NewStrand("b", 1, nil, m2.Footprint(), nil)
+	if _, err := core.NewProgram(core.NewPar(a, b), nil); err != nil {
+		t.Fatal(err)
+	}
+	if rules := Suggest(a, b, 3); len(rules) != 0 {
+		t.Fatalf("independent tasks produced rules: %v", rules)
+	}
+}
+
+// TestSuggestReadReadIsFree: shared read-only inputs must not induce
+// dependencies.
+func TestSuggestReadReadIsFree(t *testing.T) {
+	s := matrix.NewSpace()
+	shared := matrix.New(s, 4, 4)
+	o1, o2 := matrix.New(s, 4, 4), matrix.New(s, 4, 4)
+	a := core.NewStrand("a", 1, shared.Footprint(), o1.Footprint(), nil)
+	b := core.NewStrand("b", 1, shared.Footprint(), o2.Footprint(), nil)
+	if _, err := core.NewProgram(core.NewPar(a, b), nil); err != nil {
+		t.Fatal(err)
+	}
+	if rules := Suggest(a, b, 3); len(rules) != 0 {
+		t.Fatalf("read-read sharing produced rules: %v", rules)
+	}
+}

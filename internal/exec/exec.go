@@ -1,0 +1,166 @@
+// Package exec runs ND programs for real: strand closures are executed in
+// an order consistent with the algorithm DAG. Three drivers are provided:
+// the serial elision, an adversarial randomized topological order (for
+// testing that fire rules enforce every dependency), and a parallel
+// goroutine pool (the user-level runtime for examples and the real-machine
+// experiments).
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/ndflow/ndflow/internal/core"
+)
+
+// RunElision executes the program's strands in serial-elision (left-to-
+// right) order, verifying along the way that the elision is a legal
+// schedule of the DAG (it is, for every valid ND program).
+func RunElision(g *core.Graph) error {
+	t := core.NewTracker(g)
+	for _, leaf := range g.P.Leaves {
+		if leaf.Run != nil {
+			leaf.Run()
+		}
+		if err := t.Complete(leaf); err != nil {
+			return err
+		}
+	}
+	if !t.Done() {
+		return fmt.Errorf("exec: elision finished with %d of %d strands executed", t.Executed(), len(g.P.Leaves))
+	}
+	return nil
+}
+
+// RunRandomTopo executes the strands in a uniformly random legal
+// topological order drawn from the DAG. Running an ND algorithm this way
+// and comparing against its serial reference is the strongest correctness
+// test of a rule set: any missing dependency eventually produces a
+// mis-ordered execution and a wrong result.
+func RunRandomTopo(g *core.Graph, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	t := core.NewTracker(g)
+	var pool []*core.Node
+	pool = append(pool, t.TakeReady()...)
+	for len(pool) > 0 {
+		i := r.Intn(len(pool))
+		leaf := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if leaf.Run != nil {
+			leaf.Run()
+		}
+		if err := t.Complete(leaf); err != nil {
+			return err
+		}
+		pool = append(pool, t.TakeReady()...)
+	}
+	if !t.Done() {
+		return fmt.Errorf("exec: random topo order stalled at %d of %d strands (DAG deadlock)", t.Executed(), len(g.P.Leaves))
+	}
+	return nil
+}
+
+// RunReverseGreedy executes strands by always picking the ready strand
+// with the greatest leaf index: the schedule furthest from the serial
+// elision. Useful as a deterministic adversarial order.
+func RunReverseGreedy(g *core.Graph) error {
+	t := core.NewTracker(g)
+	var pool []*core.Node
+	pool = append(pool, t.TakeReady()...)
+	for len(pool) > 0 {
+		best := 0
+		for i, l := range pool {
+			if l.ID > pool[best].ID {
+				best = i
+			}
+		}
+		leaf := pool[best]
+		pool[best] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if leaf.Run != nil {
+			leaf.Run()
+		}
+		if err := t.Complete(leaf); err != nil {
+			return err
+		}
+		pool = append(pool, t.TakeReady()...)
+	}
+	if !t.Done() {
+		return fmt.Errorf("exec: reverse-greedy order stalled at %d of %d strands", t.Executed(), len(g.P.Leaves))
+	}
+	return nil
+}
+
+// RunParallel executes the program on a pool of workers goroutines
+// (default runtime.NumCPU() when workers ≤ 0). Readiness bookkeeping is
+// serialized through one mutex; strand bodies run in parallel, so programs
+// whose strand work dominates scale with cores.
+func RunParallel(g *core.Graph, workers int) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	t := core.NewTracker(g)
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		pool    []*core.Node
+		runErr  error
+		done    bool
+		stopped int
+	)
+	pool = append(pool, t.TakeReady()...)
+
+	worker := func() {
+		mu.Lock()
+		for {
+			for len(pool) == 0 && !done && runErr == nil {
+				cond.Wait()
+			}
+			if done || runErr != nil {
+				stopped++
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			leaf := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			mu.Unlock()
+
+			if leaf.Run != nil {
+				leaf.Run()
+			}
+
+			mu.Lock()
+			if err := t.Complete(leaf); err != nil && runErr == nil {
+				runErr = err
+			}
+			pool = append(pool, t.TakeReady()...)
+			if t.Done() {
+				done = true
+			}
+			cond.Broadcast()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+
+	if runErr != nil {
+		return runErr
+	}
+	if !t.Done() {
+		return fmt.Errorf("exec: parallel run stalled at %d of %d strands (DAG deadlock)", t.Executed(), len(g.P.Leaves))
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/sched/spacebound"
+)
+
+// pmhWide is a 2-level machine with wide fanouts (16 processors).
+func pmhWide() pmh.Spec {
+	return pmh.Spec{
+		ProcsPerL1: 1,
+		Caches: []pmh.CacheSpec{
+			{Size: 256, Fanout: 4, MissCost: 1},
+			{Size: 2048, Fanout: 4, MissCost: 10},
+		},
+		MemMissCost: 100,
+	}
+}
+
+func init() {
+	register("A1", a1Sigma)
+	register("A2", a2Alloc)
+}
+
+// a1Sigma ablates the space-bounded scheduler's dilation parameter σ:
+// smaller σ anchors smaller tasks (more anchors, stricter boundedness,
+// more room left for siblings), larger σ admits bigger working sets per
+// cache. The theorems use σ = 1/3; this sweep shows the trade-off the
+// constant is balancing.
+func a1Sigma(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "A1",
+		Title:   "Ablation: SB dilation σ (TRS, ND model)",
+		Columns: []string{"σ", "makespan", "L1 misses", "L2 misses", "L3 misses", "anchors", "fallbacks", "util"},
+	}
+	n := 64
+	if cfg.Quick {
+		n = 32
+	}
+	b, err := BuilderByName("TRS")
+	if err != nil {
+		return nil, err
+	}
+	spec := hierarchy(2)
+	for _, sigma := range []float64{0.15, 1.0 / 3, 0.5, 0.75, 0.95} {
+		g, err := b.Build(algos.ND, n, 4)
+		if err != nil {
+			return nil, err
+		}
+		sched := spacebound.New(spacebound.Config{Sigma: sigma})
+		res, err := simulate(g, spec, sched)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", sigma), res.Makespan,
+			res.Misses[0], res.Misses[1], res.Misses[2],
+			sched.Stats.Anchors, sched.Stats.FallbackRuns+sched.Stats.FallbackUnrolls,
+			fmt.Sprintf("%.2f", res.Utilization()))
+	}
+	t.Note("n=%d on the 3-level PMH; the paper's theorems use σ=1/3", n)
+	return t, nil
+}
+
+// a2Alloc ablates the allocation exponent α' in
+// g_k(S) = min{f, max{1, ⌊f·(3S/M_k)^α'⌋}}: small α' grants more
+// subclusters to small tasks (better balance, more cross-traffic), α' = 1
+// is the paper's proportional allocation.
+func a2Alloc(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "A2",
+		Title:   "Ablation: SB allocation exponent α' (TRS, ND model)",
+		Columns: []string{"α'", "makespan", "L1 misses", "L2 misses", "anchors", "util"},
+	}
+	n := 64
+	if cfg.Quick {
+		n = 32
+	}
+	b, err := BuilderByName("TRS")
+	if err != nil {
+		return nil, err
+	}
+	// Wide fanouts so g(S) actually varies with α' (with binary fanouts
+	// the floor collapses every exponent to the same allocation).
+	spec := pmhWide()
+	for _, alpha := range []float64{0.25, 0.5, 0.75, 1.0} {
+		g, err := b.Build(algos.ND, n, 4)
+		if err != nil {
+			return nil, err
+		}
+		sched := spacebound.New(spacebound.Config{AlphaPrime: alpha})
+		res, err := simulate(g, spec, sched)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", alpha), res.Makespan,
+			res.Misses[0], res.Misses[1], sched.Stats.Anchors,
+			fmt.Sprintf("%.2f", res.Utilization()))
+	}
+	t.Note("n=%d; the paper sets α' = min{αmax, 1}", n)
+	return t, nil
+}

@@ -1,0 +1,144 @@
+// Package footprint provides interval sets over a flat word-addressed
+// memory space. Strands declare their memory footprint as interval sets;
+// task sizes s(t), cache simulation and true-dependency extraction all
+// operate on them. Word granularity corresponds to the paper's B = 1
+// simplification of the Parallel Memory Hierarchy model.
+package footprint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is a half-open range [Lo, Hi) of word addresses.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Empty reports whether the interval contains no words.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Words returns the number of words in the interval.
+func (iv Interval) Words() int64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// Set is a normalized interval set: sorted by Lo, pairwise disjoint,
+// non-adjacent and non-empty. The zero value is the empty set.
+type Set []Interval
+
+// New builds a normalized Set from arbitrary intervals: empties are dropped,
+// overlapping and adjacent intervals are merged.
+func New(ivs ...Interval) Set {
+	tmp := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			tmp = append(tmp, iv)
+		}
+	}
+	if len(tmp) == 0 {
+		return nil
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].Lo < tmp[j].Lo })
+	out := tmp[:1]
+	for _, iv := range tmp[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return Set(out)
+}
+
+// Single returns a set holding the single half-open interval [lo, hi).
+func Single(lo, hi int64) Set { return New(Interval{lo, hi}) }
+
+// Words returns the number of distinct words in the set.
+func (s Set) Words() int64 {
+	var n int64
+	for _, iv := range s {
+		n += iv.Words()
+	}
+	return n
+}
+
+// Empty reports whether the set contains no words.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Union returns the normalized union of a and b.
+func Union(a, b Set) Set {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	merged := make([]Interval, 0, len(a)+len(b))
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	return New(merged...)
+}
+
+// UnionAll returns the normalized union of all the given sets.
+func UnionAll(sets ...Set) Set {
+	var total int
+	for _, s := range sets {
+		total += len(s)
+	}
+	merged := make([]Interval, 0, total)
+	for _, s := range sets {
+		merged = append(merged, s...)
+	}
+	return New(merged...)
+}
+
+// Intersects reports whether a and b share at least one word.
+func Intersects(a, b Set) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Hi <= b[j].Lo {
+			i++
+		} else if b[j].Hi <= a[i].Lo {
+			j++
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether word w is in the set.
+func (s Set) Contains(w int64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Hi > w })
+	return i < len(s) && s[i].Lo <= w
+}
+
+// Each calls fn for every word in the set in increasing address order.
+func (s Set) Each(fn func(word int64)) {
+	for _, iv := range s {
+		for w := iv.Lo; w < iv.Hi; w++ {
+			fn(w)
+		}
+	}
+}
+
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s))
+	for i, iv := range s {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

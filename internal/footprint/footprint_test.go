@@ -1,0 +1,175 @@
+package footprint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Interval
+		want Set
+	}{
+		{"empty", nil, nil},
+		{"drops empties", []Interval{{5, 5}, {7, 3}}, nil},
+		{"sorts", []Interval{{10, 12}, {0, 2}}, Set{{0, 2}, {10, 12}}},
+		{"merges overlap", []Interval{{0, 5}, {3, 8}}, Set{{0, 8}}},
+		{"merges adjacent", []Interval{{0, 5}, {5, 8}}, Set{{0, 8}}},
+		{"contained", []Interval{{0, 10}, {3, 5}}, Set{{0, 10}}},
+		{"chain", []Interval{{0, 2}, {2, 4}, {4, 6}}, Set{{0, 6}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := New(c.in...)
+			if len(got) != len(c.want) {
+				t.Fatalf("New(%v) = %v, want %v", c.in, got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("New(%v) = %v, want %v", c.in, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestWords(t *testing.T) {
+	s := New(Interval{0, 4}, Interval{10, 11})
+	if got := s.Words(); got != 5 {
+		t.Fatalf("Words = %d, want 5", got)
+	}
+	if got := (Set)(nil).Words(); got != 0 {
+		t.Fatalf("empty Words = %d, want 0", got)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Single(0, 10)
+	b := Single(5, 20)
+	u := Union(a, b)
+	if u.Words() != 20 {
+		t.Fatalf("Union words = %d, want 20", u.Words())
+	}
+	if got := Union(nil, a); got.Words() != 10 {
+		t.Fatalf("Union(nil,a) = %v", got)
+	}
+	if got := Union(a, nil); got.Words() != 10 {
+		t.Fatalf("Union(a,nil) = %v", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Set
+		want bool
+	}{
+		{Single(0, 10), Single(10, 20), false},
+		{Single(0, 10), Single(9, 20), true},
+		{Single(0, 10), nil, false},
+		{New(Interval{0, 2}, Interval{8, 10}), Single(3, 7), false},
+		{New(Interval{0, 2}, Interval{8, 10}), Single(3, 9), true},
+	}
+	for i, c := range cases {
+		if got := Intersects(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Intersects(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := Intersects(c.b, c.a); got != c.want {
+			t.Errorf("case %d: Intersects(%v,%v) = %v, want %v (symmetry)", i, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(Interval{2, 4}, Interval{8, 10})
+	for w, want := range map[int64]bool{1: false, 2: true, 3: true, 4: false, 8: true, 9: true, 10: false} {
+		if got := s.Contains(w); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestEach(t *testing.T) {
+	s := New(Interval{0, 3}, Interval{5, 7})
+	var got []int64
+	s.Each(func(w int64) { got = append(got, w) })
+	want := []int64{0, 1, 2, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Each visited %v, want %v", got, want)
+		}
+	}
+}
+
+// randomSet builds a random raw interval list for property tests.
+func randomSet(r *rand.Rand) []Interval {
+	n := r.Intn(8)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := int64(r.Intn(100))
+		ivs[i] = Interval{lo, lo + int64(r.Intn(10))}
+	}
+	return ivs
+}
+
+func TestQuickNormalizedInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New(randomSet(r)...)
+		for i, iv := range s {
+			if iv.Empty() {
+				return false
+			}
+			if i > 0 && s[i-1].Hi >= iv.Lo {
+				return false // must be disjoint and non-adjacent
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionWordsConsistent(t *testing.T) {
+	// |A ∪ B| computed by Union must match membership counting.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := New(randomSet(r)...), New(randomSet(r)...)
+		u := Union(a, b)
+		var count int64
+		for w := int64(0); w < 120; w++ {
+			if a.Contains(w) || b.Contains(w) {
+				count++
+				if !u.Contains(w) {
+					return false
+				}
+			} else if u.Contains(w) {
+				return false
+			}
+		}
+		return count == u.Words()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectsMatchesMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := New(randomSet(r)...), New(randomSet(r)...)
+		want := false
+		for w := int64(0); w < 120 && !want; w++ {
+			want = a.Contains(w) && b.Contains(w)
+		}
+		return Intersects(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// MulAdd computes C += sign · A·B on views. Shapes must conform:
+// A is m×k, B is k×n, C is m×n. Transposed views are handled transparently.
+func MulAdd(c, a, b *Matrix, sign float64) {
+	m, k, n := a.Rows(), a.Cols(), b.Cols()
+	if b.Rows() != k || c.Rows() != m || c.Cols() != n {
+		panic(fmt.Sprintf("matrix.MulAdd: shapes %d×%d · %d×%d → %d×%d", a.Rows(), a.Cols(), b.Rows(), b.Cols(), c.Rows(), c.Cols()))
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for l := 0; l < k; l++ {
+				acc += a.At(i, l) * b.At(l, j)
+			}
+			c.Add(i, j, sign*acc)
+		}
+	}
+}
+
+// MulAddWork returns the instruction count charged for a MulAdd of the
+// given shape (2·m·k·n flops).
+func MulAddWork(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }
+
+// SolveLowerLeft solves T·X = B for X in place on B, where T is lower
+// triangular with nonzero diagonal (forward substitution per column).
+func SolveLowerLeft(t, b *Matrix) {
+	n, m := t.Rows(), b.Cols()
+	if t.Cols() != n || b.Rows() != n {
+		panic(fmt.Sprintf("matrix.SolveLowerLeft: T %d×%d, B %d×%d", t.Rows(), t.Cols(), b.Rows(), b.Cols()))
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			v := b.At(i, j)
+			for k := 0; k < i; k++ {
+				v -= t.At(i, k) * b.At(k, j)
+			}
+			b.Set(i, j, v/t.At(i, i))
+		}
+	}
+}
+
+// SolveLowerLeftWork returns the instruction count charged for a
+// SolveLowerLeft with an n×n triangle and m right-hand sides.
+func SolveLowerLeftWork(n, m int) int64 { return int64(n) * int64(n) * int64(m) }
+
+// SolveUnitLowerLeft solves T·X = B in place on B like SolveLowerLeft, but
+// treats T's diagonal as 1 regardless of its stored values. LU factors
+// store U's diagonal where unit-L's implicit ones live, so LU's triangular
+// solves use this variant.
+func SolveUnitLowerLeft(t, b *Matrix) {
+	n, m := t.Rows(), b.Cols()
+	if t.Cols() != n || b.Rows() != n {
+		panic(fmt.Sprintf("matrix.SolveUnitLowerLeft: T %d×%d, B %d×%d", t.Rows(), t.Cols(), b.Rows(), b.Cols()))
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			v := b.At(i, j)
+			for k := 0; k < i; k++ {
+				v -= t.At(i, k) * b.At(k, j)
+			}
+			b.Set(i, j, v)
+		}
+	}
+}
+
+// SolveLowerRightT solves X·Lᵀ = B for X in place on B, where L is lower
+// triangular (so Lᵀ is upper triangular). This is the kernel behind the
+// paper's "TRS(L00, A10ᵀ)ᵀ" step of Cholesky.
+func SolveLowerRightT(l, b *Matrix) {
+	n := l.Rows()
+	m := b.Rows()
+	if l.Cols() != n || b.Cols() != n {
+		panic(fmt.Sprintf("matrix.SolveLowerRightT: L %d×%d, B %d×%d", l.Rows(), l.Cols(), b.Rows(), b.Cols()))
+	}
+	// Row i of X satisfies X[i,:]·Lᵀ = B[i,:], i.e. for column j:
+	// B[i,j] = Σ_{k≥?} X[i,k]·L[j,k]; solve left-to-right since L is lower.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			v := b.At(i, j)
+			for k := 0; k < j; k++ {
+				v -= b.At(i, k) * l.At(j, k)
+			}
+			b.Set(i, j, v/l.At(j, j))
+		}
+	}
+}
+
+// SolveLowerRightTWork returns the instruction count charged for a
+// SolveLowerRightT with m rows against an n×n triangle.
+func SolveLowerRightTWork(n, m int) int64 { return int64(n) * int64(n) * int64(m) }
+
+// CholeskyInPlace factors the square SPD view A into its lower Cholesky
+// factor in place (upper triangle is zeroed). It reports an error if a
+// non-positive pivot is encountered.
+func CholeskyInPlace(a *Matrix) error {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic("matrix.CholeskyInPlace: not square")
+	}
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return fmt.Errorf("matrix: not positive definite at pivot %d (d=%g)", j, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			v := a.At(i, j)
+			for k := 0; k < j; k++ {
+				v -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, v/d)
+		}
+		for i := 0; i < j; i++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// CholeskyWork returns the instruction count charged for an n×n Cholesky
+// base case.
+func CholeskyWork(n int) int64 { return int64(n) * int64(n) * int64(n) / 3 }
+
+// LUPanel factors the m×b panel A in place with partial pivoting:
+// A ← L\U (unit lower, upper in place). piv receives, for each column j,
+// the row swapped with row j. piv must have length ≥ b.
+func LUPanel(a *Matrix, piv []int) error {
+	m, b := a.Rows(), a.Cols()
+	if len(piv) < b {
+		panic("matrix.LUPanel: pivot slice too short")
+	}
+	for j := 0; j < b; j++ {
+		// Find pivot in column j.
+		p, best := j, math.Abs(a.At(j, j))
+		for i := j + 1; i < m; i++ {
+			if v := math.Abs(a.At(i, j)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return fmt.Errorf("matrix: singular panel at column %d", j)
+		}
+		piv[j] = p
+		if p != j {
+			SwapRows(a, j, p)
+		}
+		d := a.At(j, j)
+		for i := j + 1; i < m; i++ {
+			l := a.At(i, j) / d
+			a.Set(i, j, l)
+			for k := j + 1; k < b; k++ {
+				a.Add(i, k, -l*a.At(j, k))
+			}
+		}
+	}
+	return nil
+}
+
+// LUPanelWork returns the instruction count charged for an m×b panel
+// factorization.
+func LUPanelWork(m, b int) int64 { return 2 * int64(m) * int64(b) * int64(b) }
+
+// SwapRows exchanges rows i and j of the view.
+func SwapRows(a *Matrix, i, j int) {
+	for k := 0; k < a.Cols(); k++ {
+		vi, vj := a.At(i, k), a.At(j, k)
+		a.Set(i, k, vj)
+		a.Set(j, k, vi)
+	}
+}
+
+// ApplyPivots applies the row swaps recorded by LUPanel to the view, in
+// order: for each column j, rows j and piv[j] are exchanged. The view must
+// share the panel's row frame.
+func ApplyPivots(a *Matrix, piv []int) {
+	for j, p := range piv {
+		if p != j {
+			SwapRows(a, j, p)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package matrix is the dense linear-algebra substrate for the algorithm
+// reproductions: row-major matrices with quadrant and transposed views, a
+// word-address space for footprint declarations, and the serial kernels the
+// divide-and-conquer base cases execute.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/ndflow/ndflow/internal/footprint"
+)
+
+// Space allocates word addresses for simulated memory footprints. All
+// matrices participating in one program must share a Space so that their
+// footprints are disjoint ranges of one flat address space (the paper's
+// statically-allocated-program assumption).
+type Space struct {
+	next int64
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// Alloc reserves n words and returns the base address.
+func (s *Space) Alloc(n int64) int64 {
+	base := s.next
+	s.next += n
+	return base
+}
+
+// Words returns the total number of words allocated so far.
+func (s *Space) Words() int64 { return s.next }
+
+// Matrix is a dense row-major matrix view. Views share backing storage;
+// Quad, View and T return lightweight aliases.
+type Matrix struct {
+	data   []float64
+	base   int64 // word address of data[0]
+	stride int
+	r0, c0 int
+	rows   int
+	cols   int
+	trans  bool
+}
+
+// New allocates a rows×cols zero matrix in the given space.
+func New(s *Space, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix.New: invalid shape %d×%d", rows, cols))
+	}
+	return &Matrix{
+		data:   make([]float64, rows*cols),
+		base:   s.Alloc(int64(rows * cols)),
+		stride: cols,
+		rows:   rows,
+		cols:   cols,
+	}
+}
+
+// Rows returns the view's row count.
+func (m *Matrix) Rows() int {
+	if m.trans {
+		return m.cols
+	}
+	return m.rows
+}
+
+// Cols returns the view's column count.
+func (m *Matrix) Cols() int {
+	if m.trans {
+		return m.rows
+	}
+	return m.cols
+}
+
+func (m *Matrix) index(i, j int) int {
+	if m.trans {
+		i, j = j, i
+	}
+	return (m.r0+i)*m.stride + (m.c0 + j)
+}
+
+// At returns element (i, j) of the view.
+func (m *Matrix) At(i, j int) float64 { return m.data[m.index(i, j)] }
+
+// Set assigns element (i, j) of the view.
+func (m *Matrix) Set(i, j int, v float64) { m.data[m.index(i, j)] = v }
+
+// Add adds v to element (i, j) of the view.
+func (m *Matrix) Add(i, j int, v float64) { m.data[m.index(i, j)] += v }
+
+// View returns the r×c sub-view whose top-left corner is (i0, j0).
+func (m *Matrix) View(i0, j0, r, c int) *Matrix {
+	if m.trans {
+		base := *m
+		base.trans = false
+		v := base.View(j0, i0, c, r)
+		v.trans = true
+		return v
+	}
+	if i0 < 0 || j0 < 0 || r < 1 || c < 1 || i0+r > m.rows || j0+c > m.cols {
+		panic(fmt.Sprintf("matrix.View: [%d:%d, %d:%d] out of %d×%d", i0, i0+r, j0, j0+c, m.rows, m.cols))
+	}
+	return &Matrix{
+		data:   m.data,
+		base:   m.base,
+		stride: m.stride,
+		r0:     m.r0 + i0,
+		c0:     m.c0 + j0,
+		rows:   r,
+		cols:   c,
+	}
+}
+
+// Quad returns quadrant (qi, qj) of an even-dimensioned view:
+// Quad(0,0) is the top-left, Quad(1,1) the bottom-right.
+func (m *Matrix) Quad(qi, qj int) *Matrix {
+	r, c := m.Rows(), m.Cols()
+	if r%2 != 0 || c%2 != 0 {
+		panic(fmt.Sprintf("matrix.Quad: odd shape %d×%d", r, c))
+	}
+	return m.View(qi*r/2, qj*c/2, r/2, c/2)
+}
+
+// T returns the transposed view (no copy).
+func (m *Matrix) T() *Matrix {
+	t := *m
+	t.trans = !t.trans
+	return &t
+}
+
+// IsTransposed reports whether the view is a transposed alias.
+func (m *Matrix) IsTransposed() bool { return m.trans }
+
+// Footprint returns the set of word addresses covered by the view.
+func (m *Matrix) Footprint() footprint.Set {
+	rows, cols, stride := m.rows, m.cols, m.stride // underlying orientation
+	ivs := make([]footprint.Interval, 0, rows)
+	for i := 0; i < rows; i++ {
+		lo := m.base + int64((m.r0+i)*stride+m.c0)
+		ivs = append(ivs, footprint.Interval{Lo: lo, Hi: lo + int64(cols)})
+	}
+	return footprint.New(ivs...)
+}
+
+// Footprints unions the footprints of several views.
+func Footprints(ms ...*Matrix) footprint.Set {
+	sets := make([]footprint.Set, len(ms))
+	for i, m := range ms {
+		sets[i] = m.Footprint()
+	}
+	return footprint.UnionAll(sets...)
+}
+
+// Copy returns a freshly allocated copy of the view's contents in the given
+// space (or detached from any space if s is nil).
+func (m *Matrix) Copy(s *Space) *Matrix {
+	if s == nil {
+		s = NewSpace()
+	}
+	out := New(s, m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			out.Set(i, j, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// CopyFrom assigns the contents of src (same shape) into the view.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows() != src.Rows() || m.Cols() != src.Cols() {
+		panic(fmt.Sprintf("matrix.CopyFrom: shape mismatch %d×%d vs %d×%d", m.Rows(), m.Cols(), src.Rows(), src.Cols()))
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, src.At(i, j))
+		}
+	}
+}
+
+// MaxAbsDiff returns the max absolute elementwise difference of two
+// same-shaped views.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		panic("matrix.MaxAbsDiff: shape mismatch")
+	}
+	var d float64
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			d = math.Max(d, math.Abs(a.At(i, j)-b.At(i, j)))
+		}
+	}
+	return d
+}
+
+// FillRandom fills the view with uniform values in [-1, 1).
+func (m *Matrix) FillRandom(r *rand.Rand) {
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, 2*r.Float64()-1)
+		}
+	}
+}
+
+// FillSPD fills the (square) view with a symmetric positive-definite
+// matrix: Aᵀ A + n·I for a random A.
+func (m *Matrix) FillSPD(r *rand.Rand) {
+	n := m.Rows()
+	if n != m.Cols() {
+		panic("matrix.FillSPD: not square")
+	}
+	tmp := New(NewSpace(), n, n)
+	tmp.FillRandom(r)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v float64
+			for k := 0; k < n; k++ {
+				v += tmp.At(k, i) * tmp.At(k, j)
+			}
+			if i == j {
+				v += float64(n)
+			}
+			m.Set(i, j, v)
+		}
+	}
+}
+
+// FillLowerTriangular fills the square view with a well-conditioned lower
+// triangular matrix (unit-dominant diagonal) and zeros above the diagonal.
+func (m *Matrix) FillLowerTriangular(r *rand.Rand) {
+	n := m.Rows()
+	if n != m.Cols() {
+		panic("matrix.FillLowerTriangular: not square")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case j < i:
+				m.Set(i, j, (2*r.Float64()-1)/float64(n))
+			case j == i:
+				m.Set(i, j, 1+r.Float64())
+			default:
+				m.Set(i, j, 0)
+			}
+		}
+	}
+}
+
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			s += fmt.Sprintf("%8.3f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

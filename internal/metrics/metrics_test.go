@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/algos/lcs"
+	"github.com/ndflow/ndflow/internal/algos/matmul"
+	"github.com/ndflow/ndflow/internal/algos/trs"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/matrix"
+)
+
+func mmGraph(t *testing.T, model algos.Model, n int) *core.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	s := matrix.NewSpace()
+	a, b, c := matrix.New(s, n, n), matrix.New(s, n, n), matrix.New(s, n, n)
+	a.FillRandom(r)
+	b.FillRandom(r)
+	prog, err := matmul.New(model, c, a, b, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.MustRewrite(prog)
+}
+
+func trsGraph(t *testing.T, model algos.Model, n int) *core.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(2))
+	s := matrix.NewSpace()
+	tri := matrix.New(s, n, n)
+	tri.FillLowerTriangular(r)
+	b := matrix.New(s, n, n)
+	b.FillRandom(r)
+	prog, err := trs.New(model, tri, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.MustRewrite(prog)
+}
+
+func TestDecomposePartitionsLeaves(t *testing.T) {
+	g := mmGraph(t, algos.ND, 16)
+	for _, m := range []int64{16, 64, 256, 1024} {
+		d := Decompose(g.P.Root, m)
+		var leaves int
+		for _, task := range d.Maximal {
+			lo, hi := task.LeafRange()
+			leaves += hi - lo
+			if !task.IsLeaf() && task.Size() > m {
+				t.Fatalf("maximal task of size %d exceeds M=%d", task.Size(), m)
+			}
+			if task.Parent != nil && task.Parent.Size() <= m {
+				t.Fatalf("maximal task's parent fits in M=%d: not maximal", m)
+			}
+		}
+		if leaves != len(g.P.Leaves) {
+			t.Fatalf("M=%d: maximal tasks cover %d leaves, want %d", m, leaves, len(g.P.Leaves))
+		}
+	}
+}
+
+// TestPCCShapeMM verifies Claim 1's shape for matrix multiplication:
+// Q*(N;M) ≈ c·N^1.5/M^0.5 for N = 3n² input words, so quadrupling n
+// (16× the words... n³ work) must scale Q* by ≈ (n³ ratio) and halving M
+// must scale Q* by ≈ √2. We check the M scaling and the n exponent.
+func TestPCCShapeMM(t *testing.T) {
+	qs := map[int]int64{}
+	for _, n := range []int{16, 32, 64} {
+		g := mmGraph(t, algos.ND, n)
+		qs[n] = PCC(g.P, 3*16*16) // M holds a 16×16 working set
+	}
+	// Q* should grow ≈ 8× per doubling of n (N^1.5 with N ∝ n²).
+	g1 := float64(qs[32]) / float64(qs[16])
+	g2 := float64(qs[64]) / float64(qs[32])
+	if g1 < 6 || g1 > 10 || g2 < 6 || g2 > 10 {
+		t.Errorf("Q* growth per doubling = %.2f, %.2f; want ≈ 8 (N^1.5 law)", g1, g2)
+	}
+	// Larger caches reduce Q* ≈ 1/√M.
+	g64 := mmGraph(t, algos.ND, 64)
+	qSmall := PCC(g64.P, 3*8*8)
+	qBig := PCC(g64.P, 3*32*32)
+	ratio := float64(qSmall) / float64(qBig)
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("Q*(M/16)/Q*(M) = %.2f; want ≈ 4 (M^-0.5 law)", ratio)
+	}
+}
+
+// TestPCCLCSShape verifies Claim 1 for LCS: Q*(n;M) = O(n²/M).
+func TestPCCLCSShape(t *testing.T) {
+	q := func(n int) int64 {
+		inst := lcs.NewInstance(matrix.NewSpace(), n, 3, 1)
+		prog, err := lcs.New(algos.ND, inst, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PCC(prog, 256)
+	}
+	g1 := float64(q(64)) / float64(q(32))
+	g2 := float64(q(128)) / float64(q(64))
+	if g1 < 3 || g1 > 5.5 || g2 < 3 || g2 > 5.5 {
+		t.Errorf("LCS Q* growth per doubling = %.2f, %.2f; want ≈ 4 (n² law)", g1, g2)
+	}
+}
+
+// TestPCCModelInvariant: Claim 1 holds "even if the algorithms are
+// expressed in the NP model" — Q* depends only on the spawn tree, which
+// the ND rewrite leaves unchanged.
+func TestPCCModelInvariant(t *testing.T) {
+	for _, m := range []int64{64, 512, 4096} {
+		qNP := PCC(mmGraph(t, algos.NP, 32).P, m)
+		qND := PCC(mmGraph(t, algos.ND, 32).P, m)
+		if qNP != qND {
+			t.Errorf("M=%d: Q* differs between models: NP %d vs ND %d", m, qNP, qND)
+		}
+	}
+}
+
+// TestECCBounds: for α = 0 the work term dominates and Q̂0 ≈ Q*; ECC is
+// monotone in α; and for M larger than the task the ECC is just its size.
+func TestECCBounds(t *testing.T) {
+	g := mmGraph(t, algos.ND, 32)
+	q := float64(PCC(g.P, 256))
+	e0 := ECC(g, 256, 0)
+	if e0 < q || e0 > 2*q {
+		t.Errorf("Q̂₀ = %.0f, Q* = %.0f; want Q̂₀ ≈ Q*", e0, q)
+	}
+	prev := e0
+	for _, alpha := range []float64{0.25, 0.5, 0.75, 1.0} {
+		e := ECC(g, 256, alpha)
+		if e+1e-9 < prev {
+			t.Errorf("ECC decreased from %.0f to %.0f at α=%.2f", prev, e, alpha)
+		}
+		prev = e
+	}
+	if e := ECC(g, 1<<40, 0.5); e != float64(g.P.Root.Size()) {
+		t.Errorf("ECC with huge M = %.0f, want s(t) = %d", e, g.P.Root.Size())
+	}
+}
+
+// TestAlphaMaxOrdering reproduces the shape of Claims 2–3: the NP TRS has
+// strictly lower parallelizability than matmul, and the ND TRS recovers
+// it (αmax(TRS-NP) < αmax(MM-NP) ≈ αmax(TRS-ND) for cache sizes M with
+// N/M < M).
+func TestAlphaMaxOrdering(t *testing.T) {
+	const m = 3 * 16 * 16
+	grid := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	build := func(f func(*testing.T, algos.Model, int) *core.Graph, model algos.Model) []*core.Graph {
+		var gs []*core.Graph
+		for _, n := range []int{32, 64, 128} {
+			gs = append(gs, f(t, model, n))
+		}
+		return gs
+	}
+	aMM, _ := AlphaMax(build(mmGraph, algos.NP), m, grid, 1.15)
+	aTRSNP, _ := AlphaMax(build(trsGraph, algos.NP), m, grid, 1.15)
+	aTRSND, _ := AlphaMax(build(trsGraph, algos.ND), m, grid, 1.15)
+	t.Logf("αmax: MM-NP=%.1f TRS-NP=%.1f TRS-ND=%.1f", aMM, aTRSNP, aTRSND)
+	if aTRSNP >= aMM {
+		t.Errorf("αmax(TRS-NP)=%.2f not below αmax(MM)=%.2f", aTRSNP, aMM)
+	}
+	if aTRSND < aMM {
+		t.Errorf("αmax(TRS-ND)=%.2f below αmax(MM)=%.2f: ND did not recover parallelizability", aTRSND, aMM)
+	}
+}
+
+func TestEffectiveDepthFinite(t *testing.T) {
+	g := trsGraph(t, algos.ND, 32)
+	d := EffectiveDepth(g, 256, 0.5)
+	if math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+		t.Fatalf("effective depth = %v", d)
+	}
+}

@@ -1,0 +1,81 @@
+// Package metrics computes the paper's program-centric cost metrics on
+// frozen ND programs: work and span (§2), the parallel cache complexity
+// PCC Q*(t;M) (§4, Figure 13), the effective cache complexity ECC
+// Q̂α(t;M) (Definition 2) and the parallelizability αmax derived from it
+// (Claims 2 and 3).
+package metrics
+
+import (
+	"sort"
+
+	"github.com/ndflow/ndflow/internal/core"
+)
+
+// Decomposition is the M-maximal decomposition of a task's spawn tree:
+// maximal subtasks (size ≤ M whose parent exceeds M) and the glue nodes
+// holding them together. The maximal subtasks partition the task's
+// strands.
+type Decomposition struct {
+	M       int64
+	Maximal []*core.Node // sorted by leaf range (left to right)
+	Glue    []*core.Node
+
+	leafToMax []int // leaf sequence number → index into Maximal
+	leafBase  int   // first leaf sequence number of the decomposed task
+}
+
+// Decompose splits the subtree rooted at t into M-maximal subtasks and
+// glue nodes. A strand larger than M is treated as maximal on its own
+// (it cannot be decomposed further).
+func Decompose(t *core.Node, m int64) *Decomposition {
+	lo, hi := t.LeafRange()
+	d := &Decomposition{M: m, leafToMax: make([]int, hi-lo), leafBase: lo}
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if n.Size() <= m || n.IsLeaf() {
+			idx := len(d.Maximal)
+			d.Maximal = append(d.Maximal, n)
+			nlo, nhi := n.LeafRange()
+			for i := nlo; i < nhi; i++ {
+				d.leafToMax[i-lo] = idx
+			}
+			return
+		}
+		d.Glue = append(d.Glue, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return d
+}
+
+// PCC returns the parallel cache complexity Q*(t;M) of the program's root
+// task: the sum of sizes of M-maximal subtasks plus one unit per glue
+// node (cache-line size B = 1, as in the paper's simplified metric).
+func PCC(p *core.Program, m int64) int64 {
+	d := Decompose(p.Root, m)
+	var q int64
+	for _, t := range d.Maximal {
+		q += t.Size()
+	}
+	return q + int64(len(d.Glue))
+}
+
+// maximalRange returns the contiguous range [lo, hi] of maximal-task
+// indices covered by the node's subtree.
+func (d *Decomposition) maximalRange(n *core.Node) (lo, hi int) {
+	llo, lhi := n.LeafRange()
+	return d.leafToMax[llo-d.leafBase], d.leafToMax[lhi-1-d.leafBase]
+}
+
+// MaximalSizes returns the sorted sizes of the maximal subtasks, useful
+// for inspecting decompositions in tests and experiments.
+func (d *Decomposition) MaximalSizes() []int64 {
+	out := make([]int64, len(d.Maximal))
+	for i, t := range d.Maximal {
+		out[i] = t.Size()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,153 @@
+package spacebound
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/footprint"
+	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/sim"
+)
+
+func testSpec() pmh.Spec {
+	return pmh.Spec{
+		ProcsPerL1: 2,
+		Caches: []pmh.CacheSpec{
+			{Size: 64, Fanout: 2, MissCost: 1},
+			{Size: 512, Fanout: 2, MissCost: 10},
+		},
+		MemMissCost: 100,
+	}
+}
+
+// initScheduler builds a scheduler against a trivial program so the
+// topology helpers can be exercised directly.
+func initScheduler(t *testing.T) *Scheduler {
+	t.Helper()
+	a := core.NewStrand("a", 1, nil, footprint.Single(0, 8), nil)
+	b := core.NewStrand("b", 1, footprint.Single(0, 8), nil, nil)
+	p, err := core.NewProgram(core.NewSeq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pmh.New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.Init(&sim.Ctx{Graph: g, Tracker: core.NewTracker(g), Machine: m}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTopologyHelpers(t *testing.T) {
+	s := initScheduler(t)
+	// 2 procs per L1 × 2 L1s per L2 × 2 L2s = 8 processors.
+	if s.procs != 8 {
+		t.Fatalf("procs = %d, want 8", s.procs)
+	}
+	if got := s.unitCount(0); got != 8 {
+		t.Errorf("unitCount(0) = %d, want 8", got)
+	}
+	if got := s.unitCount(1); got != 4 {
+		t.Errorf("unitCount(1) = %d, want 4 L1s", got)
+	}
+	if got := s.unitCount(2); got != 2 {
+		t.Errorf("unitCount(2) = %d, want 2 L2s", got)
+	}
+	if got := s.childCount(1); got != 2 {
+		t.Errorf("childCount(L1) = %d, want 2 procs", got)
+	}
+	if got := s.childCount(2); got != 2 {
+		t.Errorf("childCount(L2) = %d, want 2 L1s", got)
+	}
+	lo, hi := s.procRange(1, 3) // L1 #3 covers procs 6,7
+	if lo != 6 || hi != 8 {
+		t.Errorf("procRange(L1,3) = [%d,%d), want [6,8)", lo, hi)
+	}
+	lo, hi = s.unitsUnder(2, 1, 1) // L2 #1 covers L1s 2,3
+	if lo != 2 || hi != 4 {
+		t.Errorf("unitsUnder(L2#1 → L1) = [%d,%d), want [2,4)", lo, hi)
+	}
+}
+
+func TestMaximalLevel(t *testing.T) {
+	s := initScheduler(t)
+	// σ = 1/3: σM1 = 21, σM2 = 170.
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{1, 1},
+		{21, 1},
+		{22, 2},
+		{170, 2},
+		{171, 3}, // exceeds every cache: memory level
+	}
+	for _, c := range cases {
+		if got := s.maximalLevel(c.size); got != c.want {
+			t.Errorf("maximalLevel(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestAllocationFunction(t *testing.T) {
+	s := initScheduler(t)
+	// g_k(S) = min{f, max{1, ⌊f(3S/M)^α'⌋}} with α'=1, f=2.
+	if got := s.allocation(2, 171); got != 2 {
+		t.Errorf("allocation(L2, ≥M/3) = %d, want 2 (3S/M ≥ 1 → f)", got)
+	}
+	if got := s.allocation(2, 10); got != 1 {
+		t.Errorf("allocation(L2, tiny) = %d, want 1", got)
+	}
+	if got := s.allocation(3, 100000); got != 2 {
+		t.Errorf("allocation(memory) = %d, want all %d top caches", got, 2)
+	}
+}
+
+func TestSchedulerRunsTinyProgram(t *testing.T) {
+	a := core.NewStrand("a", 1, nil, footprint.Single(0, 8), nil)
+	b := core.NewStrand("b", 1, footprint.Single(0, 8), nil, nil)
+	p, err := core.NewProgram(core.NewSeq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pmh.New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	res, err := sim.Run(g, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strands != 2 {
+		t.Fatalf("executed %d strands", res.Strands)
+	}
+	if s.Stats.Anchors < 1 {
+		t.Fatal("no anchors created")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := New(Config{Sigma: -1, AlphaPrime: 0})
+	if s.cfg.Sigma != 1.0/3 {
+		t.Errorf("default sigma = %v, want 1/3", s.cfg.Sigma)
+	}
+	if s.cfg.AlphaPrime != 1 {
+		t.Errorf("default alpha' = %v, want 1", s.cfg.AlphaPrime)
+	}
+	s2 := New(Config{Sigma: 0.5, AlphaPrime: 0.7})
+	if s2.cfg.Sigma != 0.5 || s2.cfg.AlphaPrime != 0.7 {
+		t.Error("explicit config overridden")
+	}
+}

@@ -1,0 +1,75 @@
+// Package worksteal implements a randomized work-stealing scheduler for
+// the simulation engine: per-processor deques of ready strands, owner
+// pops from the tail (most recently enabled: depth-first locality), and
+// idle processors steal from a random victim's head. This is the baseline
+// the paper's space-bounded scheduler is contrasted with (§5, [47, 48]).
+package worksteal
+
+import (
+	"math/rand"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/sim"
+)
+
+// Scheduler is a randomized work stealer. The zero value is not usable;
+// construct with New.
+type Scheduler struct {
+	rng    *rand.Rand
+	ctx    *sim.Ctx
+	deques [][]*core.Node
+	Steals int64
+}
+
+// New returns a work-stealing scheduler with the given deterministic seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Init seeds processor 0's deque with the initially-ready strands.
+func (s *Scheduler) Init(ctx *sim.Ctx) error {
+	s.ctx = ctx
+	s.deques = make([][]*core.Node, ctx.Machine.Processors())
+	s.deques[0] = append(s.deques[0], ctx.Tracker.TakeReady()...)
+	return nil
+}
+
+// Pick pops from the processor's own tail, stealing on empty.
+func (s *Scheduler) Pick(proc int) *core.Node {
+	if d := s.deques[proc]; len(d) > 0 {
+		leaf := d[len(d)-1]
+		s.deques[proc] = d[:len(d)-1]
+		return leaf
+	}
+	n := len(s.deques)
+	for attempt := 0; attempt < 2*n; attempt++ {
+		victim := s.rng.Intn(n)
+		if victim == proc || len(s.deques[victim]) == 0 {
+			continue
+		}
+		leaf := s.deques[victim][0]
+		s.deques[victim] = s.deques[victim][1:]
+		s.Steals++
+		return leaf
+	}
+	// Deterministic sweep so no ready strand is ever missed.
+	for victim := 0; victim < n; victim++ {
+		if victim != proc && len(s.deques[victim]) > 0 {
+			leaf := s.deques[victim][0]
+			s.deques[victim] = s.deques[victim][1:]
+			s.Steals++
+			return leaf
+		}
+	}
+	return nil
+}
+
+// Done pushes newly enabled strands onto the completing processor's deque.
+func (s *Scheduler) Done(proc int, leaf *core.Node) {
+	s.deques[proc] = append(s.deques[proc], s.ctx.Tracker.TakeReady()...)
+}
+
+// Progress is constant: Pick either returns work or leaves state intact
+// (its deterministic sweep guarantees any globally available strand is
+// found), so the engine needs no fixpoint sweeps.
+func (s *Scheduler) Progress() uint64 { return 0 }

@@ -1,0 +1,95 @@
+package worksteal
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/sim"
+)
+
+func machine(t *testing.T, procs int) *pmh.Machine {
+	t.Helper()
+	m, err := pmh.New(pmh.Spec{
+		ProcsPerL1:  1,
+		Caches:      []pmh.CacheSpec{{Size: 64, Fanout: procs, MissCost: 1}},
+		MemMissCost: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func parProgram(t *testing.T, n int) *core.Graph {
+	t.Helper()
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		nodes[i] = core.NewStrand("s", 100, nil, nil, nil)
+	}
+	p, err := core.NewProgram(core.NewPar(nodes...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStealsSpreadWork(t *testing.T) {
+	g := parProgram(t, 16)
+	ws := New(3)
+	res, err := sim.Run(g, machine(t, 4), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strands != 16 {
+		t.Fatalf("executed %d strands", res.Strands)
+	}
+	if ws.Steals == 0 {
+		t.Fatal("no steals despite idle processors and a full deque at proc 0")
+	}
+	// Perfect balance: 16 equal strands on 4 procs → makespan 4 strands.
+	if res.Makespan != 400 {
+		t.Fatalf("makespan = %d, want 400 (perfect balance of equal strands)", res.Makespan)
+	}
+	busy := 0
+	for _, b := range res.BusyTime {
+		if b > 0 {
+			busy++
+		}
+	}
+	if busy != 4 {
+		t.Fatalf("busy processors = %d, want 4", busy)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() int64 {
+		g := parProgram(t, 12)
+		res, err := sim.Run(g, machine(t, 4), New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+func TestFallbackSweepFindsRemoteWork(t *testing.T) {
+	// One strand enabled on proc 3's deque; proc 0 must find it even if
+	// every random probe misses (the deterministic sweep guarantees it).
+	g := parProgram(t, 1)
+	ws := New(1)
+	res, err := sim.Run(g, machine(t, 4), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strands != 1 {
+		t.Fatal("strand lost")
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim is the discrete-event execution engine that runs ND
+// programs on a simulated Parallel Memory Hierarchy. A pluggable
+// Scheduler decides which ready strand each processor runs; the engine
+// charges each strand its work plus per-word cache access costs on the
+// machine and advances simulated time. Scheduler bookkeeping itself is
+// free, matching the paper's analysis (it defers scheduler overhead to
+// "a future empirical study").
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/footprint"
+	"github.com/ndflow/ndflow/internal/pmh"
+)
+
+// Ctx gives schedulers access to the program, machine and readiness state.
+type Ctx struct {
+	Graph   *core.Graph
+	Tracker *core.Tracker
+	Machine *pmh.Machine
+}
+
+// Scheduler maps ready strands to processors.
+type Scheduler interface {
+	// Init is called once before the run.
+	Init(ctx *Ctx) error
+	// Pick returns the next strand for the idle processor to execute, or
+	// nil if it has no work right now. Pick may mutate scheduler state
+	// (e.g. anchor or unroll tasks) even when it returns nil.
+	Pick(proc int) *core.Node
+	// Done notifies the scheduler that the strand it assigned to proc has
+	// completed and readiness has been propagated.
+	Done(proc int, leaf *core.Node)
+	// Progress returns a counter that changes whenever scheduler state
+	// changed. The engine sweeps idle processors until a sweep assigns
+	// nothing and progress is stable, so work surfaced by one
+	// processor's Pick is always offered to the others before the engine
+	// waits for the next event.
+	Progress() uint64
+}
+
+// Result summarizes a simulated execution.
+type Result struct {
+	Makespan  int64
+	Work      int64   // total strand work
+	AccessOps int64   // total word accesses
+	Misses    []int64 // per cache level
+	BusyTime  []int64 // per processor
+	Strands   int
+}
+
+// Utilization returns the fraction of processor-time spent executing.
+func (r *Result) Utilization() float64 {
+	if r.Makespan == 0 || len(r.BusyTime) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range r.BusyTime {
+		busy += b
+	}
+	return float64(busy) / (float64(r.Makespan) * float64(len(r.BusyTime)))
+}
+
+type event struct {
+	time int64
+	seq  int64 // tie-break for determinism
+	proc int
+	leaf *core.Node
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run executes the program's strands on the machine under the scheduler
+// and returns timing and cache statistics. Strand Run closures are NOT
+// invoked — the simulation is purely about cost, so programs can be
+// simulated at sizes where executing the numerics would be wasteful.
+func Run(g *core.Graph, machine *pmh.Machine, sched Scheduler) (*Result, error) {
+	ctx := &Ctx{Graph: g, Tracker: core.NewTracker(g), Machine: machine}
+	if err := sched.Init(ctx); err != nil {
+		return nil, err
+	}
+	procs := machine.Processors()
+	res := &Result{BusyTime: make([]int64, procs)}
+
+	var queue eventQueue
+	var seq int64
+	now := int64(0)
+	idle := make([]bool, procs)
+	for p := range idle {
+		idle[p] = true
+	}
+	running := 0
+
+	assign := func() {
+		for {
+			assigned := false
+			before := sched.Progress()
+			for p := 0; p < procs; p++ {
+				if !idle[p] {
+					continue
+				}
+				leaf := sched.Pick(p)
+				if leaf == nil {
+					continue
+				}
+				cost := leaf.Work
+				footprint.Union(leaf.Reads, leaf.Writes).Each(func(w int64) {
+					cost += machine.Access(p, w)
+				})
+				idle[p] = false
+				running++
+				res.BusyTime[p] += cost
+				res.Work += leaf.Work
+				seq++
+				heap.Push(&queue, &event{time: now + cost, seq: seq, proc: p, leaf: leaf})
+				assigned = true
+			}
+			if !assigned && sched.Progress() == before {
+				return
+			}
+		}
+	}
+
+	assign()
+	for queue.Len() > 0 {
+		e := heap.Pop(&queue).(*event)
+		now = e.time
+		idle[e.proc] = true
+		running--
+		if err := ctx.Tracker.Complete(e.leaf); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		res.Strands++
+		sched.Done(e.proc, e.leaf)
+		assign()
+	}
+	if !ctx.Tracker.Done() {
+		return nil, fmt.Errorf("sim: stalled after %d of %d strands (scheduler deadlock)",
+			ctx.Tracker.Executed(), len(g.P.Leaves))
+	}
+	res.Makespan = now
+	res.AccessOps = machine.Accesses()
+	res.Misses = make([]int64, machine.Levels())
+	for i := range res.Misses {
+		res.Misses[i] = machine.Misses(i)
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/footprint"
+	"github.com/ndflow/ndflow/internal/pmh"
+)
+
+// serialScheduler runs everything on processor 0 in ready order.
+type serialScheduler struct {
+	ctx  *Ctx
+	pool []*core.Node
+}
+
+func (s *serialScheduler) Init(ctx *Ctx) error {
+	s.ctx = ctx
+	s.pool = ctx.Tracker.TakeReady()
+	return nil
+}
+
+func (s *serialScheduler) Pick(proc int) *core.Node {
+	if proc != 0 || len(s.pool) == 0 {
+		return nil
+	}
+	leaf := s.pool[0]
+	s.pool = s.pool[1:]
+	return leaf
+}
+
+func (s *serialScheduler) Done(proc int, leaf *core.Node) {
+	s.pool = append(s.pool, s.ctx.Tracker.TakeReady()...)
+}
+
+func (s *serialScheduler) Progress() uint64 { return 0 }
+
+func machine(t *testing.T) *pmh.Machine {
+	t.Helper()
+	m, err := pmh.New(pmh.Spec{
+		ProcsPerL1: 1,
+		Caches: []pmh.CacheSpec{
+			{Size: 8, Fanout: 2, MissCost: 1},
+			{Size: 64, Fanout: 2, MissCost: 10},
+		},
+		MemMissCost: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunSerialChain(t *testing.T) {
+	// Two strands touching the same 4 words in sequence: the second
+	// strand runs on the same processor with everything in L1.
+	a := core.NewStrand("a", 5, nil, footprint.Single(0, 4), nil)
+	b := core.NewStrand("b", 7, footprint.Single(0, 4), nil, nil)
+	p, err := core.NewProgram(core.NewSeq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustRewrite(p)
+	res, err := Run(g, machine(t), &serialScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strand a: 5 work + 4 cold memory accesses (111 each) = 449.
+	// Strand b: 7 work + 4 L1 hits (0) = 7.
+	if res.Makespan != 449+7 {
+		t.Fatalf("makespan = %d, want 456", res.Makespan)
+	}
+	if res.Strands != 2 || res.Work != 12 {
+		t.Fatalf("strands/work = %d/%d", res.Strands, res.Work)
+	}
+	if res.Misses[0] != 4 || res.Misses[1] != 4 {
+		t.Fatalf("misses = %v, want [4 4]", res.Misses)
+	}
+	if u := res.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestRunDetectsIncompleteExecution(t *testing.T) {
+	// A scheduler that refuses to schedule anything must yield a stall
+	// error, not a silent empty result.
+	a := core.NewStrand("a", 1, nil, nil, nil)
+	b := core.NewStrand("b", 1, nil, nil, nil)
+	p, err := core.NewProgram(core.NewPar(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustRewrite(p)
+	_, err = Run(g, machine(t), &stuckScheduler{})
+	if err == nil {
+		t.Fatal("stalled run not detected")
+	}
+}
+
+type stuckScheduler struct{}
+
+func (*stuckScheduler) Init(*Ctx) error      { return nil }
+func (*stuckScheduler) Pick(int) *core.Node  { return nil }
+func (*stuckScheduler) Done(int, *core.Node) {}
+func (*stuckScheduler) Progress() uint64     { return 0 }

@@ -1,0 +1,226 @@
+// Package ndflow is a library for writing and executing programs in the
+// Nested Dataflow (ND) model of Dinh, Simhadri and Tang, "Extending the
+// Nested Parallel Model to the Nested Dataflow Model with Provably
+// Efficient Schedulers" (SPAA 2016).
+//
+// The ND model extends nested (fork-join) parallelism with a third
+// composition construct, the fire construct "~>", which expresses partial
+// dependencies between subtasks via recursive rewriting rules over
+// pedigrees. This package exposes:
+//
+//   - the spawn-tree builder (Strand, Seq, Par, Fire) and fire-rule sets;
+//   - the DAG Rewriting System (Rewrite) producing executable algorithm
+//     DAGs, plus work/span analysis and critical paths;
+//   - the paper's cost metrics: parallel cache complexity Q*(t;M),
+//     effective cache complexity Q̂α(t;M) and parallelizability αmax;
+//   - a Parallel Memory Hierarchy simulator with work-stealing and
+//     space-bounded schedulers, for reproducing the paper's Theorem 1 and
+//     Theorem 3 guarantees;
+//   - a real goroutine runtime executing ND DAGs on actual cores;
+//   - ND and NP reference implementations of the paper's algorithm suite
+//     (matrix multiply, triangular solves, Cholesky, LU with partial
+//     pivoting, 1-D/2-D Floyd–Warshall, LCS) in subpackages of
+//     internal/algos, surfaced through the experiment harness.
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// architecture and EXPERIMENTS.md for the paper-versus-measured record.
+package ndflow
+
+import (
+	"io"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/deps"
+	"github.com/ndflow/ndflow/internal/exec"
+	"github.com/ndflow/ndflow/internal/footprint"
+	"github.com/ndflow/ndflow/internal/metrics"
+	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/sched/spacebound"
+	"github.com/ndflow/ndflow/internal/sched/worksteal"
+	"github.com/ndflow/ndflow/internal/sim"
+)
+
+// Model types re-exported from the core.
+type (
+	// Node is a spawn-tree node; a subtree is a task.
+	Node = core.Node
+	// Program is a frozen spawn tree with its fire-rule set.
+	Program = core.Program
+	// Graph is the event graph of the algorithm DAG implied by a program.
+	Graph = core.Graph
+	// Pedigree locates a subtask relative to an ancestor (1-based child
+	// indices; Wildcard matches every child).
+	Pedigree = core.Pedigree
+	// Rule is a single fire-rewriting rule "+src type~> -dst".
+	Rule = core.Rule
+	// RuleSet maps fire-construct type names to their rules.
+	RuleSet = core.RuleSet
+	// Footprint is a set of word-address intervals.
+	Footprint = footprint.Set
+	// Interval is a half-open range of word addresses.
+	Interval = footprint.Interval
+)
+
+// FullDep is the rule type denoting a full (serial) dependency.
+const FullDep = core.FullDep
+
+// Wildcard is the pedigree component matching every child.
+const Wildcard = core.Wildcard
+
+// Strand creates a leaf task: serial code with the given unit-cost work,
+// declared read/write footprints, and an optional closure executed by the
+// real runtime.
+func Strand(label string, work int64, reads, writes Footprint, run func()) *Node {
+	return core.NewStrand(label, work, reads, writes, run)
+}
+
+// Seq composes tasks serially (the paper's ";").
+func Seq(children ...*Node) *Node { return core.NewSeq(children...) }
+
+// Par composes tasks in parallel (the paper's "‖").
+func Par(children ...*Node) *Node { return core.NewPar(children...) }
+
+// Fire composes two tasks with the fire construct (the paper's "~>"):
+// dst partially depends on src as defined by the named type's rules.
+func Fire(fireType string, src, dst *Node) *Node { return core.NewFire(fireType, src, dst) }
+
+// R builds a Rule from dot-separated pedigree strings (e.g. "2.1") with
+// "*" as the wildcard; it panics on malformed input and is intended for
+// package-level rule tables.
+func R(src, fireType, dst string) Rule { return core.R(src, fireType, dst) }
+
+// NewProgram freezes a spawn tree against a rule set, validating both.
+func NewProgram(root *Node, rules RuleSet) (*Program, error) {
+	return core.NewProgram(root, rules)
+}
+
+// Rewrite runs the DAG Rewriting System, producing the event graph of the
+// program's algorithm DAG.
+func Rewrite(p *Program) (*Graph, error) { return core.Rewrite(p) }
+
+// Words builds a footprint from a single interval [lo, hi).
+func Words(lo, hi int64) Footprint { return footprint.Single(lo, hi) }
+
+// --- Analysis
+
+// Work returns T1, the total work of the program.
+func Work(p *Program) int64 { return p.Work() }
+
+// Span returns T∞, the critical path length of the algorithm DAG.
+func Span(g *Graph) int64 { return g.Span() }
+
+// CriticalPath returns the strands along one longest path.
+func CriticalPath(g *Graph) []*Node { return g.CriticalPath() }
+
+// PCC returns the parallel cache complexity Q*(t;M) of the program's
+// root task (§4 of the paper).
+func PCC(p *Program, m int64) int64 { return metrics.PCC(p, m) }
+
+// ECC returns the effective cache complexity Q̂α(t;M) (Definition 2).
+func ECC(g *Graph, m int64, alpha float64) float64 { return metrics.ECC(g, m, alpha) }
+
+// AlphaMax estimates the parallelizability of an algorithm family from
+// instances of increasing size; see metrics.AlphaMax.
+func AlphaMax(graphs []*Graph, m int64, grid []float64, growthTol float64) float64 {
+	a, _ := metrics.AlphaMax(graphs, m, grid, growthTol)
+	return a
+}
+
+// CheckDependencies verifies that the DAG enforces every true data
+// dependency derived from strand footprints, returning the number of
+// dependencies checked. Programs passing this check compute their serial
+// elision's result under every legal schedule.
+func CheckDependencies(g *Graph) (int, error) {
+	rep, err := deps.Check(g)
+	if err != nil {
+		return 0, err
+	}
+	if !rep.Ok() {
+		return rep.Conflicts, &UncoveredError{Violations: len(rep.Violations), Conflicts: rep.Conflicts}
+	}
+	return rep.Conflicts, nil
+}
+
+// UncoveredError reports fire rules that fail to enforce true
+// dependencies.
+type UncoveredError struct {
+	Violations, Conflicts int
+}
+
+func (e *UncoveredError) Error() string {
+	return "ndflow: " + itoa(e.Violations) + " of " + itoa(e.Conflicts) + " true data dependencies are not enforced by the DAG"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// --- Real execution
+
+// Run executes the program's strands on a goroutine worker pool
+// (workers ≤ 0 selects GOMAXPROCS).
+func Run(g *Graph, workers int) error { return exec.RunParallel(g, workers) }
+
+// RunSerial executes the program's serial elision.
+func RunSerial(g *Graph) error { return exec.RunElision(g) }
+
+// --- Machine simulation
+
+// MachineSpec describes a Parallel Memory Hierarchy (Figure 2).
+type MachineSpec = pmh.Spec
+
+// CacheSpec describes one PMH cache level.
+type CacheSpec = pmh.CacheSpec
+
+// SimResult summarizes a simulated execution.
+type SimResult = sim.Result
+
+// Simulate runs the program on a simulated PMH under the named scheduler
+// policy ("sb" for space-bounded, "ws" for work stealing).
+func Simulate(g *Graph, spec MachineSpec, policy string) (*SimResult, error) {
+	m, err := pmh.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	var sched sim.Scheduler
+	switch policy {
+	case "sb", "space-bounded":
+		sched = spacebound.New(spacebound.Config{})
+	case "ws", "work-stealing":
+		sched = worksteal.New(1)
+	default:
+		return nil, &UnknownPolicyError{Policy: policy}
+	}
+	return sim.Run(g, m, sched)
+}
+
+// UnknownPolicyError reports an unrecognized scheduling policy name.
+type UnknownPolicyError struct{ Policy string }
+
+func (e *UnknownPolicyError) Error() string {
+	return "ndflow: unknown scheduling policy " + e.Policy + ` (want "sb" or "ws")`
+}
+
+// WriteSpawnTreeDOT renders the spawn tree (and the DAG's arrows, if g is
+// non-nil) in Graphviz DOT format.
+func WriteSpawnTreeDOT(w io.Writer, p *Program, g *Graph) error {
+	return core.WriteSpawnTreeDOT(w, p, g)
+}

@@ -1,0 +1,151 @@
+package ndflow_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	ndflow "github.com/ndflow/ndflow"
+)
+
+// TestPaperMainExample drives the public API through the paper's Figure 3
+// program: MAIN = F FG~> G with F = A;B, G = C;D and the rule
+// +FG~>- = {+1 ; -1}.
+func TestPaperMainExample(t *testing.T) {
+	var order []string
+	var mu int32
+	step := func(name string) func() {
+		return func() {
+			for !atomic.CompareAndSwapInt32(&mu, 0, 1) {
+			}
+			order = append(order, name)
+			atomic.StoreInt32(&mu, 0)
+		}
+	}
+	a := ndflow.Strand("A", 3, nil, nil, step("A"))
+	b := ndflow.Strand("B", 5, nil, nil, step("B"))
+	c := ndflow.Strand("C", 7, nil, nil, step("C"))
+	d := ndflow.Strand("D", 2, nil, nil, step("D"))
+	main := ndflow.Fire("FG", ndflow.Seq(a, b), ndflow.Seq(c, d))
+	rules := ndflow.RuleSet{"FG": {ndflow.R("1", ndflow.FullDep, "1")}}
+
+	p, err := ndflow.NewProgram(main, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ndflow.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ndflow.Work(p); w != 17 {
+		t.Errorf("work = %d, want 17", w)
+	}
+	if s := ndflow.Span(g); s != 12 {
+		t.Errorf("span = %d, want 12 (the paper's §2 analysis)", s)
+	}
+	cp := ndflow.CriticalPath(g)
+	var names []string
+	for _, n := range cp {
+		names = append(names, n.Label)
+	}
+	if got := strings.Join(names, ""); got != "ACD" {
+		t.Errorf("critical path = %q, want ACD", got)
+	}
+	if err := ndflow.Run(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("executed %d strands: %v", len(order), order)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["A"] > pos["B"] || pos["C"] > pos["D"] || pos["A"] > pos["C"] {
+		t.Errorf("execution order %v violates dependencies", order)
+	}
+}
+
+func TestCheckDependencies(t *testing.T) {
+	w := ndflow.Strand("w", 1, nil, ndflow.Words(0, 8), nil)
+	r := ndflow.Strand("r", 1, ndflow.Words(0, 8), nil, nil)
+	p, err := ndflow.NewProgram(ndflow.Par(w, r), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ndflow.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, checkErr := ndflow.CheckDependencies(g)
+	if checkErr == nil {
+		t.Fatal("racy program accepted")
+	}
+	var uc *ndflow.UncoveredError
+	if !errorsAs(checkErr, &uc) {
+		t.Fatalf("error type = %T", checkErr)
+	}
+	if uc.Violations == 0 {
+		t.Fatal("violation count missing")
+	}
+}
+
+func errorsAs(err error, target **ndflow.UncoveredError) bool {
+	if e, ok := err.(*ndflow.UncoveredError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestSimulatePolicies(t *testing.T) {
+	a := ndflow.Strand("a", 10, nil, ndflow.Words(0, 16), nil)
+	b := ndflow.Strand("b", 10, ndflow.Words(0, 16), nil, nil)
+	p, err := ndflow.NewProgram(ndflow.Seq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ndflow.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ndflow.MachineSpec{
+		ProcsPerL1: 1,
+		Caches: []ndflow.CacheSpec{
+			{Size: 32, Fanout: 2, MissCost: 1},
+		},
+		MemMissCost: 10,
+	}
+	for _, policy := range []string{"sb", "ws"} {
+		res, err := ndflow.Simulate(g, spec, policy)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Makespan <= 0 || res.Strands != 2 {
+			t.Fatalf("%s: result %+v", policy, res)
+		}
+	}
+	if _, err := ndflow.Simulate(g, spec, "lottery"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDOTThroughFacade(t *testing.T) {
+	a := ndflow.Strand("a", 1, nil, nil, nil)
+	b := ndflow.Strand("b", 1, nil, nil, nil)
+	p, err := ndflow.NewProgram(ndflow.Seq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ndflow.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ndflow.WriteSpawnTreeDOT(&sb, p, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Fatal("no DOT output")
+	}
+}
