@@ -1,0 +1,3 @@
+module github.com/ndflow/ndflow
+
+go 1.24

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// ConcurrentTracker is the lock-free counterpart of Tracker: readiness is
+// propagated with atomic indegree decrements, so any number of workers can
+// complete strands and collect newly-ready work without a global lock.
+//
+// The firing discipline makes concurrent cascades safe without per-vertex
+// state: every vertex's counter reaches zero exactly once, and only the
+// worker that performs the 1→0 decrement continues the cascade from that
+// vertex, so ownership of each firing is linearized by the atomic
+// decrement itself.
+type ConcurrentTracker struct {
+	eg    *ExecGraph
+	indeg []int32 // accessed atomically after construction
+
+	executed atomic.Int64
+	// pending counts strands that are ready or running but not yet
+	// completed. Complete adjusts it with a single atomic add (newly
+	// enabled minus the completed strand), so it can only reach zero when
+	// no work remains anywhere: it is the runtime's termination latch.
+	pending atomic.Int64
+
+	initial []int32
+}
+
+// NewConcurrentTracker returns a tracker over the compiled event graph
+// with the initially-enabled strands collected (see InitialReady). The
+// construction itself is single-threaded.
+func NewConcurrentTracker(eg *ExecGraph) *ConcurrentTracker {
+	t := &ConcurrentTracker{eg: eg, indeg: eg.InitIndegrees(nil)}
+	// Serial pre-cascade: fire every source vertex; strand starts park as
+	// ready. No atomics needed before the tracker is shared.
+	var stack []int32
+	for v := 0; v < eg.NumVertices(); v++ {
+		if t.indeg[v] == 0 {
+			stack = append(stack, int32(v))
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s := eg.VertexStrand(v); s >= 0 && !eg.IsEnd(v) {
+			t.initial = append(t.initial, s)
+			continue
+		}
+		for _, w := range eg.Succ(v) {
+			t.indeg[w]--
+			if t.indeg[w] == 0 {
+				stack = append(stack, w)
+			}
+		}
+	}
+	t.pending.Store(int64(len(t.initial)))
+	return t
+}
+
+// InitialReady returns the strands ready before any completion, as strand
+// IDs. The slice is shared; callers must not modify it.
+func (t *ConcurrentTracker) InitialReady() []int32 { return t.initial }
+
+// Complete marks the ready strand id as executed and cascades readiness.
+// Newly-ready strand IDs are appended to ready; scratch is reused cascade
+// storage. Both slices (possibly grown) are returned, so a worker calling
+// in a loop performs no steady-state allocation:
+//
+//	ready, scratch = t.Complete(id, ready[:0], scratch)
+//
+// Safe for concurrent use by any number of workers, each passing its own
+// buffers. A strand must be completed exactly once, and only after it was
+// handed out by InitialReady or a previous Complete.
+func (t *ConcurrentTracker) Complete(id int32, ready, scratch []int32) ([]int32, []int32) {
+	eg := t.eg
+	n0 := len(ready)
+	scratch = append(scratch[:0], eg.StrandStart(id))
+	for len(scratch) > 0 {
+		v := scratch[len(scratch)-1]
+		scratch = scratch[:len(scratch)-1]
+		for _, w := range eg.Succ(v) {
+			if atomic.AddInt32(&t.indeg[w], -1) != 0 {
+				continue
+			}
+			if s := eg.VertexStrand(w); s >= 0 && !eg.IsEnd(w) {
+				ready = append(ready, s)
+			} else {
+				scratch = append(scratch, w)
+			}
+		}
+	}
+	t.executed.Add(1)
+	// One atomic add covers both this completion and the enables, so
+	// pending never dips to zero while work is still in flight.
+	t.pending.Add(int64(len(ready)-n0) - 1)
+	return ready, scratch
+}
+
+// Executed returns the number of strands completed so far.
+func (t *ConcurrentTracker) Executed() int64 { return t.executed.Load() }
+
+// Done reports whether every strand has been executed.
+func (t *ConcurrentTracker) Done() bool { return t.executed.Load() == int64(t.eg.NumStrands()) }
+
+// Quiescent reports whether no strand is ready or running. Together with
+// !Done it distinguishes a finished run from a stalled DAG; workers use it
+// as their exit condition.
+func (t *ConcurrentTracker) Quiescent() bool { return t.pending.Load() == 0 }

@@ -23,19 +23,49 @@ import "fmt"
 // whole base-case strands, which is conservative and race-free.
 func Rewrite(p *Program) (*Graph, error) {
 	g := newGraph(p)
-	type key struct {
+
+	// The dashed-arrow dedup set is keyed by (fire type, source node, sink
+	// node). Fire type names are interned to small integers once so the
+	// hot recursion hashes a single uint64 instead of a struct carrying a
+	// string. The packing supports 2^24 nodes; programs beyond that fall
+	// back to a struct-keyed set.
+	typeIdx := make(map[string]uint64, len(p.Rules))
+	for name := range p.Rules {
+		typeIdx[name] = uint64(len(typeIdx))
+	}
+	const idBits, idMask = 24, 1<<24 - 1
+	packable := len(p.Nodes) <= idMask && len(typeIdx) <= 0xffff
+	seen := make(map[uint64]struct{})
+	type wideKey struct {
 		typ  string
 		a, b int
 	}
-	seen := map[key]struct{}{}
+	var seenWide map[wideKey]struct{}
+	if !packable {
+		seenWide = make(map[wideKey]struct{})
+	}
+	visit := func(typ string, a, b *Node) bool {
+		if packable {
+			k := typeIdx[typ]<<(2*idBits) | uint64(a.ID)<<idBits | uint64(b.ID)
+			if _, done := seen[k]; done {
+				return false
+			}
+			seen[k] = struct{}{}
+			return true
+		}
+		k := wideKey{typ, a.ID, b.ID}
+		if _, done := seenWide[k]; done {
+			return false
+		}
+		seenWide[k] = struct{}{}
+		return true
+	}
 
 	var rewrite func(typ string, a, b *Node) error
 	rewrite = func(typ string, a, b *Node) error {
-		k := key{typ, a.ID, b.ID}
-		if _, done := seen[k]; done {
+		if !visit(typ, a, b) {
 			return nil
 		}
-		seen[k] = struct{}{}
 		rules := p.Rules[typ]
 		if len(rules) == 0 {
 			return nil // behaves like "‖"

@@ -25,14 +25,17 @@ type Arrow struct {
 //
 // The longest weighted path from start(root) to end(root) is the span T∞;
 // a strand is ready to execute exactly when its start vertex has fired.
+//
+// The adjacency itself lives in a compiled ExecGraph (CSR arrays, topo
+// order, strand IDs), built once when the DRS finishes; Graph's accessors
+// delegate to it, and performance-sensitive consumers use Exec() directly.
 type Graph struct {
-	P      *Program
+	P *Program
+	// Arrows holds the materialized dataflow arrows, sorted by
+	// (From.ID, To.ID) and deduplicated once the graph is finished.
 	Arrows []Arrow
 
-	arrowSet map[int64]struct{}
-	succ     [][]int32
-	pred     [][]int32
-	topo     []int32
+	eg *ExecGraph
 }
 
 // StartVertex returns the event-graph vertex for the start of node n.
@@ -44,17 +47,20 @@ func EndVertex(n *Node) int32 { return int32(2*n.ID + 1) }
 // NumVertices returns the number of event-graph vertices.
 func (g *Graph) NumVertices() int { return 2 * len(g.P.Nodes) }
 
+// Exec returns the compiled flat form of the event graph.
+func (g *Graph) Exec() *ExecGraph { return g.eg }
+
 // Succ returns the successor vertices of v. The returned slice is shared;
 // callers must not modify it.
-func (g *Graph) Succ(v int32) []int32 { return g.succ[v] }
+func (g *Graph) Succ(v int32) []int32 { return g.eg.Succ(v) }
 
 // Pred returns the predecessor vertices of v. The returned slice is shared;
 // callers must not modify it.
-func (g *Graph) Pred(v int32) []int32 { return g.pred[v] }
+func (g *Graph) Pred(v int32) []int32 { return g.eg.Pred(v) }
 
 // Topo returns a topological order of the event graph vertices.
 // The returned slice is shared; callers must not modify it.
-func (g *Graph) Topo() []int32 { return g.topo }
+func (g *Graph) Topo() []int32 { return g.eg.Topo() }
 
 // VertexNode returns the spawn tree node owning vertex v and whether v is
 // the node's end vertex.
@@ -64,19 +70,15 @@ func (g *Graph) VertexNode(v int32) (n *Node, isEnd bool) {
 
 // EdgeWeight returns the weight contributed by traversing from u to v:
 // the strand's work on start→end edges of strands, zero otherwise.
-func (g *Graph) EdgeWeight(u, v int32) int64 {
-	if v == u+1 && u%2 == 0 {
-		if n := g.P.Nodes[u/2]; n.IsLeaf() {
-			return n.Work
-		}
-	}
-	return 0
-}
+func (g *Graph) EdgeWeight(u, v int32) int64 { return g.eg.EdgeWeight(u, v) }
 
 func newGraph(p *Program) *Graph {
-	return &Graph{P: p, arrowSet: make(map[int64]struct{})}
+	return &Graph{P: p}
 }
 
+// addArrow validates and records a dataflow arrow. Duplicates are allowed
+// here and removed wholesale when the graph is finished, so the DRS never
+// pays a per-arrow hash lookup or map allocation.
 func (g *Graph) addArrow(from, to *Node) error {
 	if from == to {
 		return fmt.Errorf("self-dependency on node %q", from.Label)
@@ -84,65 +86,32 @@ func (g *Graph) addArrow(from, to *Node) error {
 	if from.Contains(to) || to.Contains(from) {
 		return fmt.Errorf("arrow between nested tasks %q and %q", from.Label, to.Label)
 	}
-	key := int64(from.ID)<<32 | int64(to.ID)
-	if _, dup := g.arrowSet[key]; dup {
-		return nil
-	}
-	g.arrowSet[key] = struct{}{}
 	g.Arrows = append(g.Arrows, Arrow{From: from, To: to})
 	return nil
 }
 
-// finish builds adjacency and verifies acyclicity.
+// finish sort-deduplicates the arrows and compiles the event graph,
+// verifying acyclicity.
 func (g *Graph) finish() error {
-	n := g.NumVertices()
-	g.succ = make([][]int32, n)
-	g.pred = make([][]int32, n)
-	addEdge := func(u, v int32) {
-		g.succ[u] = append(g.succ[u], v)
-		g.pred[v] = append(g.pred[v], u)
-	}
-	for _, node := range g.P.Nodes {
-		if node.IsLeaf() {
-			addEdge(StartVertex(node), EndVertex(node))
-			continue
+	sort.Slice(g.Arrows, func(i, j int) bool {
+		if g.Arrows[i].From.ID != g.Arrows[j].From.ID {
+			return g.Arrows[i].From.ID < g.Arrows[j].From.ID
 		}
-		for _, c := range node.Children {
-			addEdge(StartVertex(node), StartVertex(c))
-			addEdge(EndVertex(c), EndVertex(node))
+		return g.Arrows[i].To.ID < g.Arrows[j].To.ID
+	})
+	kept := g.Arrows[:0]
+	for i, a := range g.Arrows {
+		if i == 0 || a != g.Arrows[i-1] {
+			kept = append(kept, a)
 		}
 	}
-	for _, a := range g.Arrows {
-		addEdge(EndVertex(a.From), StartVertex(a.To))
-	}
+	g.Arrows = kept
 
-	indeg := make([]int32, n)
-	for v := 0; v < n; v++ {
-		for range g.pred[v] {
-			indeg[v]++
-		}
+	eg, err := NewExecGraph(g.P, g.Arrows)
+	if err != nil {
+		return err
 	}
-	queue := make([]int32, 0, n)
-	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			queue = append(queue, int32(v))
-		}
-	}
-	g.topo = make([]int32, 0, n)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		g.topo = append(g.topo, v)
-		for _, w := range g.succ[v] {
-			indeg[w]--
-			if indeg[w] == 0 {
-				queue = append(queue, w)
-			}
-		}
-	}
-	if len(g.topo) != n {
-		return fmt.Errorf("event graph has a cycle: the fire rules induce a circular dependency (%d of %d vertices ordered)", len(g.topo), n)
-	}
+	g.eg = eg
 	return nil
 }
 
@@ -154,10 +123,12 @@ func (g *Graph) Span() int64 {
 }
 
 func (g *Graph) distances() []int64 {
-	dist := make([]int64, g.NumVertices())
-	for _, v := range g.topo {
-		for _, w := range g.succ[v] {
-			if d := dist[v] + g.EdgeWeight(v, w); d > dist[w] {
+	e := g.eg
+	dist := make([]int64, e.NumVertices())
+	for _, v := range e.Topo() {
+		dv := dist[v]
+		for _, w := range e.Succ(v) {
+			if d := dv + e.EdgeWeight(v, w); d > dist[w] {
 				dist[w] = d
 			}
 		}
@@ -168,23 +139,24 @@ func (g *Graph) distances() []int64 {
 // CriticalPath returns the strands on one longest weighted path, in
 // execution order.
 func (g *Graph) CriticalPath() []*Node {
+	e := g.eg
 	dist := g.distances()
 	// Walk backwards from end(root), always stepping to a predecessor that
 	// realizes the distance.
 	var path []*Node
 	v := EndVertex(g.P.Root)
 	for {
-		node, isEnd := g.VertexNode(v)
+		node, isEnd := e.VertexNode(v)
 		if isEnd && node.IsLeaf() {
 			path = append(path, node)
 		}
-		preds := g.pred[v]
+		preds := e.Pred(v)
 		if len(preds) == 0 {
 			break
 		}
 		next := preds[0]
 		for _, u := range preds {
-			if dist[u]+g.EdgeWeight(u, v) == dist[v] {
+			if dist[u]+e.EdgeWeight(u, v) == dist[v] {
 				next = u
 				break
 			}
@@ -208,15 +180,6 @@ func (g *Graph) Parallelism() float64 {
 }
 
 // SortedArrows returns the arrows sorted by (From.ID, To.ID), for
-// deterministic output.
-func (g *Graph) SortedArrows() []Arrow {
-	out := make([]Arrow, len(g.Arrows))
-	copy(out, g.Arrows)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From.ID != out[j].From.ID {
-			return out[i].From.ID < out[j].From.ID
-		}
-		return out[i].To.ID < out[j].To.ID
-	})
-	return out
-}
+// deterministic output. Since finish keeps Arrows sorted and deduplicated,
+// this is the Arrows slice itself; callers must not modify it.
+func (g *Graph) SortedArrows() []Arrow { return g.Arrows }

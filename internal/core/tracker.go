@@ -7,30 +7,33 @@ import "fmt"
 // strand becomes ready; executing the strand (Complete) fires the gate and
 // the strand's end, cascading readiness to successors.
 //
-// Tracker is not safe for concurrent use; parallel runtimes must serialize
-// access (see internal/exec).
+// Ready strands are tracked by strand ID (serial-elision index); the
+// *Node-based accessors remain for convenience. Tracker is not safe for
+// concurrent use; parallel runtimes use ConcurrentTracker instead.
 type Tracker struct {
-	g        *Graph
+	eg       *ExecGraph
 	indeg    []int32
 	fired    []bool
 	executed int
-	ready    []*Node
+	ready    []int32 // strand IDs enabled since the last TakeReady*
 }
 
 // NewTracker returns a tracker with all initially-enabled strands ready.
-func NewTracker(g *Graph) *Tracker {
-	n := g.NumVertices()
-	t := &Tracker{g: g, indeg: make([]int32, n), fired: make([]bool, n)}
+func NewTracker(g *Graph) *Tracker { return NewExecTracker(g.Exec()) }
+
+// NewExecTracker returns a tracker over a compiled event graph.
+func NewExecTracker(eg *ExecGraph) *Tracker {
+	n := eg.NumVertices()
+	t := &Tracker{eg: eg, indeg: eg.InitIndegrees(nil), fired: make([]bool, n)}
+	// Enable from the pre-cascade snapshot: vertices that reach indegree
+	// zero during the cascade are enabled by fire itself, and a vertex
+	// with no predecessors can never be re-enabled by a decrement.
 	var zeros []int32
 	for v := 0; v < n; v++ {
-		t.indeg[v] = int32(len(g.Pred(int32(v))))
 		if t.indeg[v] == 0 {
 			zeros = append(zeros, int32(v))
 		}
 	}
-	// Enable from the pre-cascade snapshot: vertices that reach indegree
-	// zero during the cascade are enabled by fire itself, and a vertex
-	// with no predecessors can never be re-enabled by a decrement.
 	for _, v := range zeros {
 		t.enable(v)
 	}
@@ -40,9 +43,8 @@ func NewTracker(g *Graph) *Tracker {
 // enable handles a vertex whose dependencies are satisfied: strand starts
 // become ready gates, everything else fires immediately.
 func (t *Tracker) enable(v int32) {
-	node, isEnd := t.g.VertexNode(v)
-	if !isEnd && node.IsLeaf() {
-		t.ready = append(t.ready, node)
+	if s := t.eg.VertexStrand(v); s >= 0 && !t.eg.IsEnd(v) {
+		t.ready = append(t.ready, s)
 		return
 	}
 	t.fire(v)
@@ -53,7 +55,7 @@ func (t *Tracker) fire(v int32) {
 		return
 	}
 	t.fired[v] = true
-	for _, w := range t.g.Succ(v) {
+	for _, w := range t.eg.Succ(v) {
 		t.indeg[w]--
 		if t.indeg[w] == 0 {
 			t.enable(w)
@@ -64,9 +66,25 @@ func (t *Tracker) fire(v int32) {
 // TakeReady returns the strands that became ready since the last call and
 // clears the internal list.
 func (t *Tracker) TakeReady() []*Node {
-	r := t.ready
-	t.ready = nil
+	if len(t.ready) == 0 {
+		t.ready = t.ready[:0]
+		return nil
+	}
+	r := make([]*Node, len(t.ready))
+	for i, id := range t.ready {
+		r[i] = t.eg.Strand(id)
+	}
+	t.ready = t.ready[:0]
 	return r
+}
+
+// TakeReadyIDs appends the strand IDs that became ready since the last
+// TakeReady* call to dst, clears the internal list, and returns dst. It
+// performs no allocation when dst has capacity.
+func (t *Tracker) TakeReadyIDs(dst []int32) []int32 {
+	dst = append(dst, t.ready...)
+	t.ready = t.ready[:0]
+	return dst
 }
 
 // IsReady reports whether the strand's start gate is open (all
@@ -90,8 +108,11 @@ func (t *Tracker) Complete(leaf *Node) error {
 	return nil
 }
 
+// CompleteID is Complete for a strand identified by ID.
+func (t *Tracker) CompleteID(id int32) error { return t.Complete(t.eg.Strand(id)) }
+
 // Done reports whether every strand has been executed.
-func (t *Tracker) Done() bool { return t.executed == len(t.g.P.Leaves) }
+func (t *Tracker) Done() bool { return t.executed == t.eg.NumStrands() }
 
 // Executed returns the number of strands completed so far.
 func (t *Tracker) Executed() int { return t.executed }

@@ -127,21 +127,18 @@ type leafReach struct {
 }
 
 func leafReachability(g *core.Graph) *leafReach {
-	numLeaves := len(g.P.Leaves)
+	eg := g.Exec()
+	numLeaves := eg.NumStrands()
 	words := (numLeaves + 63) / 64
-	r := &leafReach{words: words, sets: make([][]uint64, g.NumVertices())}
-	leafSeq := make(map[int32]int, numLeaves) // end-vertex → leaf index
-	for i, l := range g.P.Leaves {
-		leafSeq[core.EndVertex(l)] = i
-	}
-	for _, v := range g.Topo() {
+	r := &leafReach{words: words, sets: make([][]uint64, eg.NumVertices())}
+	for _, v := range eg.Topo() {
 		set := make([]uint64, words)
-		for _, u := range g.Pred(v) {
+		for _, u := range eg.Pred(v) {
 			for w, x := range r.sets[u] {
 				set[w] |= x
 			}
 		}
-		if i, isLeafEnd := leafSeq[v]; isLeafEnd {
+		if i := eg.VertexStrand(v); i >= 0 && eg.IsEnd(v) {
 			set[i/64] |= 1 << (uint(i) % 64)
 		}
 		r.sets[v] = set

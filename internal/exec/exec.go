@@ -1,9 +1,10 @@
 // Package exec runs ND programs for real: strand closures are executed in
-// an order consistent with the algorithm DAG. Three drivers are provided:
+// an order consistent with the algorithm DAG. Four drivers are provided:
 // the serial elision, an adversarial randomized topological order (for
-// testing that fire rules enforce every dependency), and a parallel
-// goroutine pool (the user-level runtime for examples and the real-machine
-// experiments).
+// testing that fire rules enforce every dependency), a lock-free
+// work-stealing goroutine runtime (the user-level runtime for examples and
+// the real-machine experiments), and the retired mutex-serialized runtime,
+// kept as the differential-testing and benchmark baseline.
 package exec
 
 import (
@@ -11,6 +12,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/ndflow/ndflow/internal/core"
 )
@@ -41,21 +43,21 @@ func RunElision(g *core.Graph) error {
 // mis-ordered execution and a wrong result.
 func RunRandomTopo(g *core.Graph, seed int64) error {
 	r := rand.New(rand.NewSource(seed))
+	eg := g.Exec()
 	t := core.NewTracker(g)
-	var pool []*core.Node
-	pool = append(pool, t.TakeReady()...)
+	pool := t.TakeReadyIDs(nil)
 	for len(pool) > 0 {
 		i := r.Intn(len(pool))
-		leaf := pool[i]
+		id := pool[i]
 		pool[i] = pool[len(pool)-1]
 		pool = pool[:len(pool)-1]
-		if leaf.Run != nil {
+		if leaf := eg.Strand(id); leaf.Run != nil {
 			leaf.Run()
 		}
-		if err := t.Complete(leaf); err != nil {
+		if err := t.CompleteID(id); err != nil {
 			return err
 		}
-		pool = append(pool, t.TakeReady()...)
+		pool = t.TakeReadyIDs(pool)
 	}
 	if !t.Done() {
 		return fmt.Errorf("exec: random topo order stalled at %d of %d strands (DAG deadlock)", t.Executed(), len(g.P.Leaves))
@@ -67,26 +69,26 @@ func RunRandomTopo(g *core.Graph, seed int64) error {
 // with the greatest leaf index: the schedule furthest from the serial
 // elision. Useful as a deterministic adversarial order.
 func RunReverseGreedy(g *core.Graph) error {
+	eg := g.Exec()
 	t := core.NewTracker(g)
-	var pool []*core.Node
-	pool = append(pool, t.TakeReady()...)
+	pool := t.TakeReadyIDs(nil)
 	for len(pool) > 0 {
 		best := 0
-		for i, l := range pool {
-			if l.ID > pool[best].ID {
+		for i, id := range pool {
+			if id > pool[best] {
 				best = i
 			}
 		}
-		leaf := pool[best]
+		id := pool[best]
 		pool[best] = pool[len(pool)-1]
 		pool = pool[:len(pool)-1]
-		if leaf.Run != nil {
+		if leaf := eg.Strand(id); leaf.Run != nil {
 			leaf.Run()
 		}
-		if err := t.Complete(leaf); err != nil {
+		if err := t.CompleteID(id); err != nil {
 			return err
 		}
-		pool = append(pool, t.TakeReady()...)
+		pool = t.TakeReadyIDs(pool)
 	}
 	if !t.Done() {
 		return fmt.Errorf("exec: reverse-greedy order stalled at %d of %d strands", t.Executed(), len(g.P.Leaves))
@@ -94,23 +96,173 @@ func RunReverseGreedy(g *core.Graph) error {
 	return nil
 }
 
-// RunParallel executes the program on a pool of workers goroutines
-// (default runtime.NumCPU() when workers ≤ 0). Readiness bookkeeping is
-// serialized through one mutex; strand bodies run in parallel, so programs
-// whose strand work dominates scale with cores.
+// RunParallel executes the program on a pool of worker goroutines (default
+// GOMAXPROCS when workers ≤ 0) with no global lock: each worker owns a
+// Chase–Lev deque of ready strand IDs, pops locally in LIFO order
+// (depth-first locality), and steals from random victims when dry.
+// Readiness propagates through ConcurrentTracker's atomic indegree
+// counters, so both strand bodies and dependency wake-ups scale with
+// cores, and the steady state allocates nothing per strand.
 func RunParallel(g *core.Graph, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eg := g.Exec()
+	total := eg.NumStrands()
+	if workers == 1 {
+		// Degenerate pool: one worker steals from nobody, and the compile
+		// step already proved acyclicity and banked a legal serial
+		// schedule (the topological order of strand starts), so readiness
+		// bookkeeping vanishes entirely: just run the schedule.
+		for _, id := range eg.TopoStrands() {
+			if leaf := eg.Strand(id); leaf.Run != nil {
+				leaf.Run()
+			}
+		}
+		if len(eg.TopoStrands()) != total {
+			return fmt.Errorf("exec: compiled schedule covers %d of %d strands", len(eg.TopoStrands()), total)
+		}
+		return nil
+	}
+	ct := core.NewConcurrentTracker(eg)
+	initial := ct.InitialReady()
+	if len(initial) == 0 {
+		if total == 0 {
+			return nil
+		}
+		return fmt.Errorf("exec: no initially-ready strand among %d (DAG deadlock)", total)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	deques := make([]*wsDeque, workers)
+	per := total/workers + 1
+	for w := range deques {
+		deques[w] = newWSDeque(per)
+	}
+	for i, id := range initial {
+		deques[i%workers].push(id)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			d := deques[self]
+			rng := uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+			ready := make([]int32, 0, 16)
+			scratch := make([]int32, 0, 16)
+			next := int32(-1)
+			idle := 0
+			for {
+				id := next
+				next = -1
+				if id < 0 {
+					var ok bool
+					if id, ok = d.pop(); !ok {
+						if id, ok = stealFrom(deques, self, &rng); !ok {
+							if ct.Quiescent() {
+								return
+							}
+							// Back off gradually: spin, then yield, then
+							// sleep with a doubling interval (capped at
+							// 1ms), so a long work drought parks idle
+							// workers instead of burning their cores on
+							// steal probes.
+							idle++
+							switch {
+							case idle < 32:
+							case idle < 256:
+								runtime.Gosched()
+							default:
+								pause := time.Duration(20) << uint(min(idle-256, 6)) * time.Microsecond
+								time.Sleep(pause)
+							}
+							continue
+						}
+					}
+				}
+				idle = 0
+				if leaf := eg.Strand(id); leaf.Run != nil {
+					leaf.Run()
+				}
+				ready, scratch = ct.Complete(id, ready[:0], scratch)
+				if n := len(ready); n > 0 {
+					// Keep one enabled strand as the next local task; the
+					// rest go on the deque for thieves.
+					next = ready[n-1]
+					for _, r := range ready[:n-1] {
+						d.push(r)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if !ct.Done() {
+		return fmt.Errorf("exec: parallel run stalled at %d of %d strands (DAG deadlock)", ct.Executed(), total)
+	}
+	return nil
+}
+
+// stealFrom probes random victims, then sweeps deterministically so no
+// available strand is ever missed. rng is a worker-local xorshift state.
+func stealFrom(deques []*wsDeque, self int, rng *uint64) (int32, bool) {
+	n := len(deques)
+	if n == 1 {
+		return 0, false
+	}
+	for attempt := 0; attempt < 2*n; attempt++ {
+		*rng ^= *rng << 13
+		*rng ^= *rng >> 7
+		*rng ^= *rng << 17
+		victim := int(*rng % uint64(n))
+		if victim == self {
+			continue
+		}
+		if v, ok, retry := deques[victim].steal(); ok {
+			return v, true
+		} else if retry {
+			attempt--
+		}
+	}
+	for victim := 0; victim < n; victim++ {
+		if victim == self {
+			continue
+		}
+		for {
+			v, ok, retry := deques[victim].steal()
+			if ok {
+				return v, true
+			}
+			if !retry {
+				break
+			}
+		}
+	}
+	return 0, false
+}
+
+// RunParallelMutex is the retired first-generation parallel runtime: one
+// global mutex serializes all readiness bookkeeping, with a condition
+// variable parking idle workers. It is kept as the reference baseline for
+// the RunParallel benchmarks and as a differential-testing oracle; new
+// code should call RunParallel.
+func RunParallelMutex(g *core.Graph, workers int) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	t := core.NewTracker(g)
 
 	var (
-		mu      sync.Mutex
-		cond    = sync.NewCond(&mu)
-		pool    []*core.Node
-		runErr  error
-		done    bool
-		stopped int
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		pool   []*core.Node
+		runErr error
+		done   bool
 	)
 	pool = append(pool, t.TakeReady()...)
 
@@ -121,7 +273,6 @@ func RunParallel(g *core.Graph, workers int) error {
 				cond.Wait()
 			}
 			if done || runErr != nil {
-				stopped++
 				cond.Broadcast()
 				mu.Unlock()
 				return

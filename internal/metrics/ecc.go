@@ -58,15 +58,16 @@ func newECCEval(g *core.Graph, m int64, alpha float64) *eccEval {
 		e.weights[i] = math.Ceil(math.Pow(float64(t.Size()), 1-alpha))
 	}
 	e.preds = make([][]int32, len(e.d.Maximal))
-	type edge struct{ u, v int32 }
-	seenE := map[edge]bool{}
+	// Arrows are already sorted and deduplicated, but distinct arrows can
+	// collapse onto one maximal-task edge; dedup those with packed keys.
+	seenE := map[uint64]bool{}
 	seenJ := map[joinSpec]bool{}
 	for _, a := range g.Arrows {
 		uLo, uHi := e.d.maximalRange(a.From)
 		vLo, vHi := e.d.maximalRange(a.To)
 		if uLo == uHi && vLo == vHi {
-			if uLo != vLo && !seenE[edge{int32(uLo), int32(vLo)}] {
-				seenE[edge{int32(uLo), int32(vLo)}] = true
+			if k := uint64(uLo)<<32 | uint64(uint32(vLo)); uLo != vLo && !seenE[k] {
+				seenE[k] = true
 				e.preds[vLo] = append(e.preds[vLo], int32(uLo))
 			}
 			continue

@@ -93,6 +93,7 @@ type Scheduler struct {
 	anchorsByProc [][]*anchor
 	allAnchors    []*anchor
 	progress      uint64
+	drain         []int32 // scratch for discarding tracker ready lists
 	Stats         Stats
 }
 
@@ -386,7 +387,7 @@ func (s *Scheduler) unroll(t *core.Node, a *anchor) {
 // Done propagates completion: subtree completions satisfy outgoing
 // arrows, release anchors, and enqueue newly-ready pending tasks.
 func (s *Scheduler) Done(proc int, leaf *core.Node) {
-	s.ctx.Tracker.TakeReady() // SB uses its own readiness bookkeeping
+	s.drain = s.ctx.Tracker.TakeReadyIDs(s.drain[:0]) // SB uses its own readiness bookkeeping
 	for t := leaf; t != nil; t = t.Parent {
 		s.leavesLeft[t.ID]--
 		if s.leavesLeft[t.ID] != 0 {

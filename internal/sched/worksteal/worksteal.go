@@ -1,5 +1,5 @@
 // Package worksteal implements a randomized work-stealing scheduler for
-// the simulation engine: per-processor deques of ready strands, owner
+// the simulation engine: per-processor deques of ready strand IDs, owner
 // pops from the tail (most recently enabled: depth-first locality), and
 // idle processors steal from a random victim's head. This is the baseline
 // the paper's space-bounded scheduler is contrasted with (§5, [47, 48]).
@@ -12,12 +12,52 @@ import (
 	"github.com/ndflow/ndflow/internal/sim"
 )
 
+// deque is a ready list of strand IDs with an explicit head index: steals
+// advance head instead of re-slicing, so the backing array is never pinned
+// by a stale full-length slice, and it is compacted once the dead prefix
+// dominates.
+type deque struct {
+	buf  []int32
+	head int
+}
+
+func (d *deque) empty() bool { return d.head == len(d.buf) }
+
+func (d *deque) popTail() int32 {
+	v := d.buf[len(d.buf)-1]
+	d.buf = d.buf[:len(d.buf)-1]
+	d.normalize()
+	return v
+}
+
+func (d *deque) stealHead() int32 {
+	v := d.buf[d.head]
+	d.head++
+	d.normalize()
+	return v
+}
+
+// normalize reclaims the consumed prefix: reset when empty, compact when
+// more than half the buffer is dead and the waste is non-trivial.
+func (d *deque) normalize() {
+	switch {
+	case d.head == len(d.buf):
+		d.buf = d.buf[:0]
+		d.head = 0
+	case d.head >= 32 && 2*d.head >= len(d.buf):
+		n := copy(d.buf, d.buf[d.head:])
+		d.buf = d.buf[:n]
+		d.head = 0
+	}
+}
+
 // Scheduler is a randomized work stealer. The zero value is not usable;
 // construct with New.
 type Scheduler struct {
 	rng    *rand.Rand
 	ctx    *sim.Ctx
-	deques [][]*core.Node
+	eg     *core.ExecGraph
+	deques []deque
 	Steals int64
 }
 
@@ -29,36 +69,31 @@ func New(seed int64) *Scheduler {
 // Init seeds processor 0's deque with the initially-ready strands.
 func (s *Scheduler) Init(ctx *sim.Ctx) error {
 	s.ctx = ctx
-	s.deques = make([][]*core.Node, ctx.Machine.Processors())
-	s.deques[0] = append(s.deques[0], ctx.Tracker.TakeReady()...)
+	s.eg = ctx.Exec
+	s.deques = make([]deque, ctx.Machine.Processors())
+	s.deques[0].buf = ctx.Tracker.TakeReadyIDs(nil)
 	return nil
 }
 
 // Pick pops from the processor's own tail, stealing on empty.
 func (s *Scheduler) Pick(proc int) *core.Node {
-	if d := s.deques[proc]; len(d) > 0 {
-		leaf := d[len(d)-1]
-		s.deques[proc] = d[:len(d)-1]
-		return leaf
+	if d := &s.deques[proc]; !d.empty() {
+		return s.eg.Strand(d.popTail())
 	}
 	n := len(s.deques)
 	for attempt := 0; attempt < 2*n; attempt++ {
 		victim := s.rng.Intn(n)
-		if victim == proc || len(s.deques[victim]) == 0 {
+		if victim == proc || s.deques[victim].empty() {
 			continue
 		}
-		leaf := s.deques[victim][0]
-		s.deques[victim] = s.deques[victim][1:]
 		s.Steals++
-		return leaf
+		return s.eg.Strand(s.deques[victim].stealHead())
 	}
 	// Deterministic sweep so no ready strand is ever missed.
 	for victim := 0; victim < n; victim++ {
-		if victim != proc && len(s.deques[victim]) > 0 {
-			leaf := s.deques[victim][0]
-			s.deques[victim] = s.deques[victim][1:]
+		if victim != proc && !s.deques[victim].empty() {
 			s.Steals++
-			return leaf
+			return s.eg.Strand(s.deques[victim].stealHead())
 		}
 	}
 	return nil
@@ -66,7 +101,7 @@ func (s *Scheduler) Pick(proc int) *core.Node {
 
 // Done pushes newly enabled strands onto the completing processor's deque.
 func (s *Scheduler) Done(proc int, leaf *core.Node) {
-	s.deques[proc] = append(s.deques[proc], s.ctx.Tracker.TakeReady()...)
+	s.deques[proc].buf = s.ctx.Tracker.TakeReadyIDs(s.deques[proc].buf)
 }
 
 // Progress is constant: Pick either returns work or leaves state intact

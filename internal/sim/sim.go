@@ -17,8 +17,11 @@ import (
 )
 
 // Ctx gives schedulers access to the program, machine and readiness state.
+// Exec is the graph's compiled flat form; schedulers keep ready lists of
+// strand IDs against it instead of *Node pointers.
 type Ctx struct {
 	Graph   *core.Graph
+	Exec    *core.ExecGraph
 	Tracker *core.Tracker
 	Machine *pmh.Machine
 }
@@ -95,7 +98,7 @@ func (q *eventQueue) Pop() interface{} {
 // invoked — the simulation is purely about cost, so programs can be
 // simulated at sizes where executing the numerics would be wasteful.
 func Run(g *core.Graph, machine *pmh.Machine, sched Scheduler) (*Result, error) {
-	ctx := &Ctx{Graph: g, Tracker: core.NewTracker(g), Machine: machine}
+	ctx := &Ctx{Graph: g, Exec: g.Exec(), Tracker: core.NewTracker(g), Machine: machine}
 	if err := sched.Init(ctx); err != nil {
 		return nil, err
 	}

@@ -28,6 +28,7 @@ package ndflow
 
 import (
 	"io"
+	"strconv"
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/deps"
@@ -48,6 +49,10 @@ type (
 	Program = core.Program
 	// Graph is the event graph of the algorithm DAG implied by a program.
 	Graph = core.Graph
+	// ExecGraph is the compiled flat form of an event graph: CSR
+	// adjacency, a precomputed topological order and dense strand IDs.
+	// Every traversal and runtime executes against it.
+	ExecGraph = core.ExecGraph
 	// Pedigree locates a subtask relative to an ancestor (1-based child
 	// indices; Wildcard matches every child).
 	Pedigree = core.Pedigree
@@ -97,6 +102,10 @@ func NewProgram(root *Node, rules RuleSet) (*Program, error) {
 // Rewrite runs the DAG Rewriting System, producing the event graph of the
 // program's algorithm DAG.
 func Rewrite(p *Program) (*Graph, error) { return core.Rewrite(p) }
+
+// Compile returns the event graph's compiled flat form (built once when
+// the DRS finishes; this accessor never re-runs the compile step).
+func Compile(g *Graph) *ExecGraph { return g.Exec() }
 
 // Words builds a footprint from a single interval [lo, hi).
 func Words(lo, hi int64) Footprint { return footprint.Single(lo, hi) }
@@ -148,35 +157,14 @@ type UncoveredError struct {
 }
 
 func (e *UncoveredError) Error() string {
-	return "ndflow: " + itoa(e.Violations) + " of " + itoa(e.Conflicts) + " true data dependencies are not enforced by the DAG"
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	neg := v < 0
-	if neg {
-		v = -v
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
+	return "ndflow: " + strconv.Itoa(e.Violations) + " of " + strconv.Itoa(e.Conflicts) + " true data dependencies are not enforced by the DAG"
 }
 
 // --- Real execution
 
-// Run executes the program's strands on a goroutine worker pool
-// (workers ≤ 0 selects GOMAXPROCS).
+// Run executes the program's strands on a lock-free work-stealing
+// goroutine pool (workers ≤ 0 selects GOMAXPROCS): per-worker deques with
+// randomized stealing, readiness propagated by atomic indegree counters.
 func Run(g *Graph, workers int) error { return exec.RunParallel(g, workers) }
 
 // RunSerial executes the program's serial elision.

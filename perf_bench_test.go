@@ -1,0 +1,149 @@
+// Micro-benchmarks for the compiled-core pipeline: the DAG Rewriting
+// System (BenchmarkRewrite), the CSR compile step (BenchmarkCompile) and
+// the real-machine runtime (BenchmarkRunParallel vs. the retired
+// mutex-serialized baseline) on large Floyd–Warshall and LU instances.
+// Run with
+//
+//	go test -bench 'Rewrite|Compile|RunParallel' -benchmem
+//
+// to measure both throughput and per-strand allocation behaviour.
+package ndflow_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/algos"
+	"github.com/ndflow/ndflow/internal/algos/fw"
+	"github.com/ndflow/ndflow/internal/algos/lu"
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/exec"
+	"github.com/ndflow/ndflow/internal/matrix"
+)
+
+// fwProgram builds an ND 1-D Floyd–Warshall program (with live strand
+// closures) at the given size.
+func fwProgram(b *testing.B, n, base int) *core.Program {
+	b.Helper()
+	inst := fw.NewInstance(matrix.NewSpace(), n, 11)
+	prog, err := fw.New(algos.ND, inst, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// luGraph builds an ND LU factorization event graph at the given size.
+func luGraph(b *testing.B, n, base int) *core.Graph {
+	b.Helper()
+	r := rand.New(rand.NewSource(13))
+	s := matrix.NewSpace()
+	a := matrix.New(s, n, n)
+	a.FillRandom(r)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 2)
+	}
+	inst, err := lu.NewInstance(s, a, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lu.New(algos.ND, inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.MustRewrite(prog)
+}
+
+// BenchmarkRewrite measures the DAG Rewriting System (including the CSR
+// compile it finishes with) on a large FW instance.
+func BenchmarkRewrite(b *testing.B) {
+	prog := fwProgram(b, 256, 8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var g *core.Graph
+	for i := 0; i < b.N; i++ {
+		var err error
+		g, err = core.Rewrite(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(g.Arrows)), "arrows")
+}
+
+// BenchmarkCompile isolates the compile step: lowering a rewritten event
+// graph into the flat CSR ExecGraph.
+func BenchmarkCompile(b *testing.B) {
+	g := core.MustRewrite(fwProgram(b, 256, 8))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewExecGraph(g.P, g.Arrows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.Exec().NumVertices()), "vertices")
+}
+
+// fwSchedGraph is a large FW event graph with the strand bodies stripped,
+// so runtime benchmarks measure scheduling and readiness propagation, not
+// the numerics inside the strands.
+func fwSchedGraph(b *testing.B, n, base int) *core.Graph {
+	b.Helper()
+	g := core.MustRewrite(fwProgram(b, n, base))
+	for _, l := range g.P.Leaves {
+		l.Run = nil
+	}
+	return g
+}
+
+func benchRuntime(b *testing.B, g *core.Graph, workers int, run func(*core.Graph, int) error) {
+	b.Helper()
+	strands := float64(len(g.P.Leaves))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(g, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+}
+
+// BenchmarkRunParallel measures the lock-free runtime at the default
+// worker count (GOMAXPROCS) on a quick-size FW instance: pure scheduling
+// throughput. With one worker this is the compiled-schedule path, which
+// performs zero readiness bookkeeping and zero allocation per run.
+func BenchmarkRunParallel(b *testing.B) {
+	benchRuntime(b, fwSchedGraph(b, 256, 4), 0, exec.RunParallel)
+}
+
+// BenchmarkRunParallelWorkers4 pins four workers, exercising the
+// Chase–Lev deques and atomic readiness cascades even on small hosts.
+func BenchmarkRunParallelWorkers4(b *testing.B) {
+	benchRuntime(b, fwSchedGraph(b, 256, 4), 4, exec.RunParallel)
+}
+
+// BenchmarkRunParallelMutex measures the retired mutex-serialized runtime
+// on the same instance at its default worker count (NumCPU), as the
+// comparison baseline.
+func BenchmarkRunParallelMutex(b *testing.B) {
+	benchRuntime(b, fwSchedGraph(b, 256, 4), 0, exec.RunParallelMutex)
+}
+
+// BenchmarkRunParallelMutexWorkers4 is the baseline at four workers.
+func BenchmarkRunParallelMutexWorkers4(b *testing.B) {
+	benchRuntime(b, fwSchedGraph(b, 256, 4), 4, exec.RunParallelMutex)
+}
+
+// BenchmarkRunParallelLU runs the lock-free runtime with live LU strand
+// bodies: end-to-end factorization throughput rather than pure overhead.
+func BenchmarkRunParallelLU(b *testing.B) {
+	benchRuntime(b, luGraph(b, 128, 8), 0, exec.RunParallel)
+}
+
+// BenchmarkRunParallelMutexLU is the live-body baseline.
+func BenchmarkRunParallelMutexLU(b *testing.B) {
+	benchRuntime(b, luGraph(b, 128, 8), 0, exec.RunParallelMutex)
+}
