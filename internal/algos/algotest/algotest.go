@@ -6,8 +6,9 @@
 //   - every true data dependency (from strand footprints) is enforced by
 //     the DAG (the fire rules are complete);
 //   - executing the strands in serial-elision order, in a deterministic
-//     adversarial order, in randomized topological orders, and on the
-//     parallel goroutine runtime all produce the reference result;
+//     adversarial order, in randomized topological orders, on the
+//     parallel goroutine runtime and on the long-lived engine all
+//     produce the reference result;
 //   - the ND tree has the same work as the NP tree (the spawn tree is
 //     unchanged) and no larger span.
 package algotest
@@ -48,6 +49,17 @@ func RunSuite(t *testing.T, f Factory) {
 			}
 			t.Run("parallel", func(t *testing.T) {
 				runAndCheck(t, f, model, func(g *core.Graph) error { return exec.RunParallel(g, 4) })
+			})
+			t.Run("engine", func(t *testing.T) {
+				e := exec.NewEngine(4)
+				defer e.Close()
+				runAndCheck(t, f, model, func(g *core.Graph) error {
+					r, err := e.Submit(g)
+					if err != nil {
+						return err
+					}
+					return r.Wait()
+				})
 			})
 		})
 	}

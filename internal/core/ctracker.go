@@ -9,13 +9,33 @@ import (
 // complete strands and collect newly-ready work without a global lock.
 //
 // The firing discipline makes concurrent cascades safe without per-vertex
-// state: every vertex's counter reaches zero exactly once, and only the
-// worker that performs the 1→0 decrement continues the cascade from that
-// vertex, so ownership of each firing is linearized by the atomic
-// decrement itself.
+// state: every vertex's counter reaches its firing value exactly once, and
+// only the worker that performs the firing decrement continues the cascade
+// from that vertex, so ownership of each firing is linearized by the
+// atomic decrement itself.
+//
+// A tracker is reusable: Reset rewinds it to the pre-run state in O(1) by
+// advancing a generation stamp instead of re-copying the indegree array.
+// Counters are never re-initialized; each run drains vertex v by exactly
+// runDrop[v] decrements, so after g completed runs the counter sits at
+// runDrop[v]·(1−g) and the firing value of generation g is
+// runDrop[v]·(1−g). All arithmetic is int32 and wraps mod 2³²; the firing
+// comparison stays exact under wrap-around because within one run the
+// counter traverses runDrop[v] < 2³² distinct residues, so no mid-run
+// value can collide with the firing value.
 type ConcurrentTracker struct {
-	eg    *ExecGraph
-	indeg []int32 // accessed atomically after construction
+	eg *ExecGraph
+
+	// indeg[v] counts down forever across generations; accessed atomically
+	// after construction.
+	indeg []int32
+	// runDrop[v] is the number of decrements v receives during one run:
+	// its initial indegree minus the decrements delivered once and for all
+	// by the construction-time pre-cascade from the source vertices.
+	runDrop []int32
+	// gen is the 1-based generation (run number). Written only by Reset,
+	// which callers must serialize with run completion (see Reset).
+	gen int32
 
 	executed atomic.Int64
 	// pending counts strands that are ready or running but not yet
@@ -31,12 +51,14 @@ type ConcurrentTracker struct {
 // with the initially-enabled strands collected (see InitialReady). The
 // construction itself is single-threaded.
 func NewConcurrentTracker(eg *ExecGraph) *ConcurrentTracker {
-	t := &ConcurrentTracker{eg: eg, indeg: eg.InitIndegrees(nil)}
+	t := &ConcurrentTracker{eg: eg, runDrop: eg.InitIndegrees(nil), gen: 1}
 	// Serial pre-cascade: fire every source vertex; strand starts park as
-	// ready. No atomics needed before the tracker is shared.
+	// ready. The decrements it delivers are independent of any strand's
+	// execution, so they are applied once here and excluded from runDrop —
+	// every later generation replays only the runtime decrements.
 	var stack []int32
 	for v := 0; v < eg.NumVertices(); v++ {
-		if t.indeg[v] == 0 {
+		if t.runDrop[v] == 0 {
 			stack = append(stack, int32(v))
 		}
 	}
@@ -48,39 +70,46 @@ func NewConcurrentTracker(eg *ExecGraph) *ConcurrentTracker {
 			continue
 		}
 		for _, w := range eg.Succ(v) {
-			t.indeg[w]--
-			if t.indeg[w] == 0 {
+			t.runDrop[w]--
+			if t.runDrop[w] == 0 {
 				stack = append(stack, w)
 			}
 		}
 	}
+	t.indeg = make([]int32, eg.NumVertices())
+	copy(t.indeg, t.runDrop)
 	t.pending.Store(int64(len(t.initial)))
 	return t
 }
 
 // InitialReady returns the strands ready before any completion, as strand
-// IDs. The slice is shared; callers must not modify it.
+// IDs. The set is identical in every generation. The slice is shared;
+// callers must not modify it.
 func (t *ConcurrentTracker) InitialReady() []int32 { return t.initial }
 
 // Complete marks the ready strand id as executed and cascades readiness.
 // Newly-ready strand IDs are appended to ready; scratch is reused cascade
-// storage. Both slices (possibly grown) are returned, so a worker calling
-// in a loop performs no steady-state allocation:
+// storage. Both slices (possibly grown) are returned along with done,
+// which is true for exactly the one completion per generation that
+// finished the run (no strand ready or running anywhere afterwards), so a
+// worker calling in a loop performs no steady-state allocation:
 //
-//	ready, scratch = t.Complete(id, ready[:0], scratch)
+//	ready, scratch, done = t.Complete(id, ready[:0], scratch)
 //
 // Safe for concurrent use by any number of workers, each passing its own
-// buffers. A strand must be completed exactly once, and only after it was
-// handed out by InitialReady or a previous Complete.
-func (t *ConcurrentTracker) Complete(id int32, ready, scratch []int32) ([]int32, []int32) {
+// buffers. A strand must be completed exactly once per generation, and
+// only after it was handed out by InitialReady or a previous Complete.
+func (t *ConcurrentTracker) Complete(id int32, ready, scratch []int32) ([]int32, []int32, bool) {
 	eg := t.eg
 	n0 := len(ready)
+	// Firing value of this generation: runDrop[w]·(1−gen), wrapping.
+	genOff := 1 - t.gen
 	scratch = append(scratch[:0], eg.StrandStart(id))
 	for len(scratch) > 0 {
 		v := scratch[len(scratch)-1]
 		scratch = scratch[:len(scratch)-1]
 		for _, w := range eg.Succ(v) {
-			if atomic.AddInt32(&t.indeg[w], -1) != 0 {
+			if atomic.AddInt32(&t.indeg[w], -1) != genOff*t.runDrop[w] {
 				continue
 			}
 			if s := eg.VertexStrand(w); s >= 0 && !eg.IsEnd(w) {
@@ -93,14 +122,33 @@ func (t *ConcurrentTracker) Complete(id int32, ready, scratch []int32) ([]int32,
 	t.executed.Add(1)
 	// One atomic add covers both this completion and the enables, so
 	// pending never dips to zero while work is still in flight.
-	t.pending.Add(int64(len(ready)-n0) - 1)
-	return ready, scratch
+	done := t.pending.Add(int64(len(ready)-n0)-1) == 0
+	return ready, scratch, done
 }
 
-// Executed returns the number of strands completed so far.
+// Reset rewinds the tracker for another run of the same graph in O(1):
+// the generation stamp advances and the executed/pending counters rewind;
+// the indegree array is left alone (see the type comment). It must only
+// be called when the previous run has fully completed (Done reports
+// true), and never concurrently with Complete; callers
+// re-publishing the tracker to workers must establish happens-before
+// (the engine's submission mutex does).
+func (t *ConcurrentTracker) Reset() {
+	if !t.Done() {
+		panic("core: ConcurrentTracker.Reset before the run completed")
+	}
+	t.gen++
+	t.executed.Store(0)
+	t.pending.Store(int64(len(t.initial)))
+}
+
+// Generation returns the 1-based run number the tracker is serving.
+func (t *ConcurrentTracker) Generation() int32 { return t.gen }
+
+// Executed returns the number of strands completed so far this generation.
 func (t *ConcurrentTracker) Executed() int64 { return t.executed.Load() }
 
-// Done reports whether every strand has been executed.
+// Done reports whether every strand has been executed this generation.
 func (t *ConcurrentTracker) Done() bool { return t.executed.Load() == int64(t.eg.NumStrands()) }
 
 // Quiescent reports whether no strand is ready or running. Together with

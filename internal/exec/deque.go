@@ -2,11 +2,14 @@ package exec
 
 import "sync/atomic"
 
-// wsDeque is a Chase–Lev work-stealing deque of strand IDs: the owning
+// wsDeque is a Chase–Lev work-stealing deque of task words: the owning
 // worker pushes and pops at the bottom (LIFO, depth-first locality) while
 // thieves take from the top (FIFO, oldest work first). All coordination is
 // a single compare-and-swap on the top index; the common owner path is two
 // atomic loads and a store.
+//
+// Elements are int64 so one deque can carry either bare strand IDs
+// (RunParallel) or the engine's packed (run slot, strand) task words.
 //
 // The element array is accessed through atomic cells because a thief reads
 // its candidate slot before winning the CAS; the CAS ensures a torn claim
@@ -21,11 +24,11 @@ type wsDeque struct {
 
 type wsBuf struct {
 	mask int64
-	a    []atomic.Int32
+	a    []atomic.Int64
 }
 
 func newWSBuf(capacity int64) *wsBuf {
-	return &wsBuf{mask: capacity - 1, a: make([]atomic.Int32, capacity)}
+	return &wsBuf{mask: capacity - 1, a: make([]atomic.Int64, capacity)}
 }
 
 // newWSDeque returns a deque with capacity rounded up to a power of two.
@@ -40,7 +43,7 @@ func newWSDeque(capacity int) *wsDeque {
 }
 
 // push appends v at the bottom. Owner only.
-func (d *wsDeque) push(v int32) {
+func (d *wsDeque) push(v int64) {
 	b := d.bottom.Load()
 	t := d.top.Load()
 	buf := d.buf.Load()
@@ -57,7 +60,7 @@ func (d *wsDeque) push(v int32) {
 }
 
 // pop removes and returns the bottom element. Owner only.
-func (d *wsDeque) pop() (int32, bool) {
+func (d *wsDeque) pop() (int64, bool) {
 	b := d.bottom.Load() - 1
 	buf := d.buf.Load()
 	d.bottom.Store(b)
@@ -81,7 +84,7 @@ func (d *wsDeque) pop() (int32, bool) {
 
 // steal removes and returns the top element. Any thread. retry reports a
 // lost race (the deque may still hold work worth re-probing).
-func (d *wsDeque) steal() (v int32, ok, retry bool) {
+func (d *wsDeque) steal() (v int64, ok, retry bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {

@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzDeque feeds random push/pop/steal interleavings to the Chase–Lev
+// deque and checks them against a reference sequential model, then
+// replays the owner's schedule against concurrent thieves and checks the
+// consume-exactly-once guarantee that every runtime in this package
+// depends on.
+//
+// Byte encoding: each op byte b means push (b%4 != 0) or pop (b%4 == 0);
+// in the sequential phase every third pop is replaced by a steal, driving
+// both ends of the deque.
+func FuzzDeque(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 4, 0, 0, 5})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		fuzzDequeSequential(t, ops)
+		fuzzDequeConcurrent(t, ops)
+	})
+}
+
+// fuzzDequeSequential drives one goroutine through the fuzzed schedule
+// and mirrors it on a plain slice model: pop takes the back, steal takes
+// the front, values must match exactly.
+func fuzzDequeSequential(t *testing.T, ops []byte) {
+	d := newWSDeque(8)
+	var model []int64
+	var next int64
+	var takes int
+	for _, op := range ops {
+		if op%4 != 0 {
+			d.push(next)
+			model = append(model, next)
+			next++
+			continue
+		}
+		takes++
+		if takes%3 == 0 {
+			v, ok, retry := d.steal()
+			if retry {
+				t.Fatal("steal reported a lost race with no concurrent thief")
+			}
+			if ok != (len(model) > 0) {
+				t.Fatalf("steal ok = %v with %d modeled items", ok, len(model))
+			}
+			if ok {
+				if v != model[0] {
+					t.Fatalf("steal = %d, model front = %d", v, model[0])
+				}
+				model = model[1:]
+			}
+			continue
+		}
+		v, ok := d.pop()
+		if ok != (len(model) > 0) {
+			t.Fatalf("pop ok = %v with %d modeled items", ok, len(model))
+		}
+		if ok {
+			if v != model[len(model)-1] {
+				t.Fatalf("pop = %d, model back = %d", v, model[len(model)-1])
+			}
+			model = model[:len(model)-1]
+		}
+	}
+	// Drain: the deque and the model must agree to the end.
+	for len(model) > 0 {
+		v, ok := d.pop()
+		if !ok {
+			t.Fatalf("deque dry with %d modeled items left", len(model))
+		}
+		if v != model[len(model)-1] {
+			t.Fatalf("drain pop = %d, model back = %d", v, model[len(model)-1])
+		}
+		model = model[:len(model)-1]
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("deque still has items after the model drained")
+	}
+}
+
+// fuzzDequeConcurrent replays the owner's push/pop schedule while three
+// thieves steal continuously, and asserts every pushed value is consumed
+// exactly once — no loss, no duplication — under any interleaving.
+func fuzzDequeConcurrent(t *testing.T, ops []byte) {
+	pushes := 0
+	for _, op := range ops {
+		if op%4 != 0 {
+			pushes++
+		}
+	}
+	if pushes == 0 {
+		return
+	}
+	const thieves = 3
+	d := newWSDeque(8)
+	got := make([]atomic.Int32, pushes)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if v, ok, _ := d.steal(); ok {
+					got[v].Add(1)
+				}
+			}
+			for {
+				v, ok, retry := d.steal()
+				if ok {
+					got[v].Add(1)
+				} else if !retry {
+					return
+				}
+			}
+		}()
+	}
+	var next int64
+	for _, op := range ops {
+		if op%4 != 0 {
+			d.push(next)
+			next++
+		} else if v, ok := d.pop(); ok {
+			got[v].Add(1)
+		}
+	}
+	for {
+		v, ok := d.pop()
+		if !ok {
+			break
+		}
+		got[v].Add(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("value %d consumed %d times, want exactly once", i, n)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ndflow/ndflow/internal/core"
+)
+
+// ErrEngineClosed is returned by submissions to a closed engine.
+var ErrEngineClosed = errors.New("exec: engine is closed")
+
+// Instance is the reusable per-graph run state: one ConcurrentTracker over
+// a compiled ExecGraph. Because the tracker rewinds by generation stamp
+// (core.ConcurrentTracker.Reset), the same instance can execute its graph
+// any number of times with zero steady-state allocation. Instances are
+// managed internally by Engine.Submit's per-graph pool; NewInstance plus
+// Engine.SubmitInstance is for callers who want to own the reuse cycle
+// themselves.
+type Instance struct {
+	eg *core.ExecGraph
+	ct *core.ConcurrentTracker
+}
+
+// NewInstance allocates run state for the compiled graph. The instance is
+// ready to submit immediately.
+func NewInstance(eg *core.ExecGraph) *Instance {
+	return &Instance{eg: eg, ct: core.NewConcurrentTracker(eg)}
+}
+
+// Graph returns the compiled graph this instance executes.
+func (in *Instance) Graph() *core.ExecGraph { return in.eg }
+
+// Run is the handle of one in-flight graph execution on an Engine.
+type Run struct {
+	eng  *Engine
+	inst *Instance
+	pool *instPool // non-nil when the instance returns to an engine pool
+	slot int32
+	err  error
+	done chan struct{} // buffered(1); finish sends, Wait receives
+}
+
+// Wait blocks until the run has executed every strand and returns its
+// error (nil in the normal case; the compile step proves acyclicity, so
+// engine runs cannot deadlock). Wait must be called exactly once per
+// submission: it recycles the handle and returns the instance to the
+// engine's pool (or rewinds a caller-owned instance for resubmission).
+func (r *Run) Wait() error {
+	<-r.done
+	err := r.err
+	e := r.eng
+	inst, pool := r.inst, r.pool
+	if err == nil && inst.ct.Done() {
+		// Rewind before republishing so pooled and caller-owned instances
+		// are always ready to run; the engine mutex (or the caller's own
+		// resubmission ordering) establishes happens-before with workers.
+		inst.ct.Reset()
+	} else {
+		pool = nil // never reuse a failed run's state
+	}
+	e.mu.Lock()
+	if pool != nil {
+		pool.free = append(pool.free, inst)
+	}
+	r.inst, r.pool = nil, nil
+	e.freeRun = append(e.freeRun, r)
+	e.mu.Unlock()
+	return err
+}
+
+type instPool struct {
+	free []*Instance // guarded by the engine mutex
+}
+
+type progEntry struct {
+	once sync.Once
+	g    *core.Graph
+	err  error
+}
+
+// Engine is a long-lived work-stealing worker pool that accepts
+// concurrent run submissions and multiplexes every in-flight graph
+// execution over one set of Chase–Lev deques. Workers are spawned once at
+// construction and park on a condition variable when idle — submission
+// cost is enqueueing the initially-ready strands, not goroutine creation.
+//
+// Deque task words pack (run slot, strand ID) into an int64, so a worker
+// that steals a task from any victim can serve any run. Per-run state is
+// an Instance (tracker with generation reset); instances are pooled per
+// compiled graph and programs are cached per *Program (Rewrite+Compile
+// runs once per program), so steady-state resubmission of the same
+// program allocates nothing.
+type Engine struct {
+	workers int
+	deques  []*wsDeque
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// epoch counts work-publication events; a worker that failed a steal
+	// sweep parks only if the epoch is unchanged since before the sweep
+	// AND a second sweep performed after announcing its sleeper count
+	// finds nothing (see acquire), so a publication between sweep and
+	// park is never lost.
+	epoch    uint64
+	sleepers int          // parked workers, under mu
+	nSleep   atomic.Int32 // mirror of sleepers for lock-free hot-path checks
+	closed   bool
+	active   int // in-flight runs, under mu
+	// inject is the global submission queue (tasks not yet on any deque),
+	// consumed FIFO from injectHead so the oldest submission's strands are
+	// served first; the dead prefix is compacted, worksteal-deque style.
+	inject     []int64
+	injectHead int
+	freeSlot   []int32
+	freeRun    []*Run
+	slots      atomic.Pointer[[]*Run] // copy-on-write snapshot, indexed by task slot
+	progs      map[*core.Program]*progEntry
+	pools      map[*core.ExecGraph]*instPool
+}
+
+// NewEngine starts an engine with the given worker count (GOMAXPROCS when
+// workers ≤ 0). The workers live until Close.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers: workers,
+		deques:  make([]*wsDeque, workers),
+		progs:   make(map[*core.Program]*progEntry),
+		pools:   make(map[*core.ExecGraph]*instPool),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for i := range e.deques {
+		e.deques[i] = newWSDeque(256)
+	}
+	empty := make([]*Run, 0, 8)
+	e.slots.Store(&empty)
+	for w := 0; w < workers; w++ {
+		e.wg.Add(1)
+		go e.worker(w)
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Submit enqueues one execution of the graph and returns its handle. The
+// run state comes from a per-graph instance pool, so resubmitting the
+// same graph (sequentially or from concurrent submitters) reuses trackers
+// instead of reallocating them.
+//
+// Safe for concurrent use — but note that scheduling state is the
+// engine's only per-run isolation: concurrent in-flight runs of one
+// graph execute the same strand closures over the same user data, which
+// races unless the bodies are nil, pure, or externally synchronized.
+// Give each concurrent submitter its own graph (its own backing data)
+// when bodies write.
+func (e *Engine) Submit(g *core.Graph) (*Run, error) {
+	return e.submit(g.Exec(), nil)
+}
+
+// SubmitInstance enqueues one execution on caller-owned run state. The
+// instance must not be submitted again (or mutated) until Wait returns;
+// Wait rewinds it, ready for the next submission.
+func (e *Engine) SubmitInstance(inst *Instance) (*Run, error) {
+	return e.submit(inst.eg, inst)
+}
+
+func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	inst := owned
+	var pool *instPool
+	if inst == nil {
+		pool = e.pools[eg]
+		if pool == nil {
+			pool = &instPool{}
+			e.pools[eg] = pool
+		}
+		if n := len(pool.free); n > 0 {
+			inst = pool.free[n-1]
+			pool.free = pool.free[:n-1]
+		} else {
+			inst = NewInstance(eg)
+		}
+	}
+	r := e.getRunLocked()
+	r.inst, r.pool, r.err = inst, pool, nil
+
+	initial := inst.ct.InitialReady()
+	if len(initial) == 0 {
+		// Empty program (or, impossibly post-compile, a deadlocked one):
+		// the run is already over.
+		if eg.NumStrands() > 0 {
+			r.err = fmt.Errorf("exec: no initially-ready strand among %d (DAG deadlock)", eg.NumStrands())
+		}
+		e.mu.Unlock()
+		r.done <- struct{}{}
+		return r, nil
+	}
+	slot := e.allocSlotLocked(r)
+	for _, id := range initial {
+		e.inject = append(e.inject, packTask(slot, id))
+	}
+	e.active++
+	e.epoch++
+	if e.sleepers > 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	return r, nil
+}
+
+// SubmitProgram enqueues one execution of the program, rewriting and
+// compiling it on first sight and serving the engine's program cache
+// afterwards. Safe for concurrent use; concurrent first submissions of
+// the same program compile once. Submit's caveat about concurrent
+// in-flight runs sharing the strand bodies' data applies here too.
+func (e *Engine) SubmitProgram(p *core.Program) (*Run, error) {
+	e.mu.Lock()
+	ent := e.progs[p]
+	if ent == nil {
+		ent = &progEntry{}
+		e.progs[p] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.g, ent.err = core.Rewrite(p) })
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	return e.Submit(ent.g)
+}
+
+// Run executes the program to completion: SubmitProgram plus Wait. In the
+// steady state (program already cached, instance pooled) a Run performs
+// no allocation at all.
+func (e *Engine) Run(p *core.Program) error {
+	r, err := e.SubmitProgram(p)
+	if err != nil {
+		return err
+	}
+	return r.Wait()
+}
+
+// Close shuts the engine down: in-flight runs are drained, then the
+// workers exit and Close returns. Further submissions fail with
+// ErrEngineClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		e.epoch++
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// packTask packs a run slot and strand ID into one deque word. Both are
+// non-negative int32s, so the word is non-negative and -1 can serve as
+// the workers' "no task" sentinel.
+func packTask(slot, id int32) int64 { return int64(slot)<<32 | int64(uint32(id)) }
+
+func unpackTask(t int64) (slot, id int32) { return int32(t >> 32), int32(uint32(t)) }
+
+func (e *Engine) getRunLocked() *Run {
+	if n := len(e.freeRun); n > 0 {
+		r := e.freeRun[n-1]
+		e.freeRun = e.freeRun[:n-1]
+		return r
+	}
+	return &Run{eng: e, done: make(chan struct{}, 1)}
+}
+
+// allocSlotLocked assigns the run a slot in the task table, growing the
+// copy-on-write snapshot when the free list is dry. Workers re-load the
+// snapshot for every task, and a task word is only published after its
+// slot is written (both under the engine mutex), so a worker can never
+// observe a stale cell for a live run.
+func (e *Engine) allocSlotLocked(r *Run) int32 {
+	if n := len(e.freeSlot); n > 0 {
+		s := e.freeSlot[n-1]
+		e.freeSlot = e.freeSlot[:n-1]
+		(*e.slots.Load())[s] = r
+		r.slot = s
+		return s
+	}
+	old := *e.slots.Load()
+	next := make([]*Run, len(old)+1, 2*len(old)+8)
+	copy(next, old)
+	next[len(old)] = r
+	e.slots.Store(&next)
+	r.slot = int32(len(old))
+	return r.slot
+}
+
+// takeInjectLocked serves the idle worker from the global submission
+// queue, oldest tasks first: it returns one task and moves a fair share
+// of the rest onto the worker's own deque, so one grab spreads a fresh
+// run's initial strands without a mutex round-trip per task.
+func (e *Engine) takeInjectLocked(self int) (int64, bool) {
+	n := len(e.inject) - e.injectHead
+	if n == 0 {
+		return 0, false
+	}
+	take := n/e.workers + 1
+	if take > n {
+		take = n
+	}
+	d := e.deques[self]
+	head := e.injectHead
+	for _, t := range e.inject[head+1 : head+take] {
+		d.push(t)
+	}
+	t := e.inject[head]
+	e.injectHead += take
+	// Reclaim the consumed prefix: reset when drained, compact when the
+	// dead prefix dominates.
+	switch h := e.injectHead; {
+	case h == len(e.inject):
+		e.inject = e.inject[:0]
+		e.injectHead = 0
+	case h >= 32 && 2*h >= len(e.inject):
+		e.inject = e.inject[:copy(e.inject, e.inject[h:])]
+		e.injectHead = 0
+	}
+	return t, true
+}
+
+// acquire finds work for an idle worker: the submission queue first, then
+// a steal sweep, then parking. Returns false when the engine is closed
+// and fully drained.
+func (e *Engine) acquire(self int, rng *uint64) (int64, bool) {
+	for {
+		e.mu.Lock()
+		if t, ok := e.takeInjectLocked(self); ok {
+			e.mu.Unlock()
+			return t, true
+		}
+		if e.closed && e.active == 0 {
+			e.mu.Unlock()
+			return 0, false
+		}
+		ep := e.epoch
+		e.mu.Unlock()
+		if t, ok := stealFrom(e.deques, self, rng); ok {
+			return t, true
+		}
+		e.mu.Lock()
+		if e.epoch == ep {
+			e.sleepers++
+			e.nSleep.Store(int32(e.sleepers))
+			e.mu.Unlock()
+			// Announce-then-recheck (Dekker): the sleeper count is now
+			// published, so a worker pushing work either observes it and
+			// wakes us, or pushed before our announcement — in which case
+			// this second sweep observes the work (sequentially consistent
+			// atomics forbid missing both). Without it, a push landing
+			// between the first sweep and the count increment would strand
+			// us parked while tasks sit in an active worker's deque.
+			if t, ok := stealFrom(e.deques, self, rng); ok {
+				e.mu.Lock()
+				e.sleepers--
+				e.nSleep.Store(int32(e.sleepers))
+				e.mu.Unlock()
+				return t, true
+			}
+			e.mu.Lock()
+			if e.epoch == ep {
+				e.cond.Wait()
+			}
+			e.sleepers--
+			e.nSleep.Store(int32(e.sleepers))
+		}
+		e.mu.Unlock()
+	}
+}
+
+// wake publishes n newly-available tasks to parked workers, waking up to
+// n of them so a wide fan-out engages the whole pool, not one thief.
+// Callers pre-check nSleep so the hot path (no sleepers) costs one
+// atomic load.
+func (e *Engine) wake(n int) {
+	e.mu.Lock()
+	e.epoch++
+	if n >= e.sleepers {
+		e.cond.Broadcast()
+	} else {
+		for i := 0; i < n; i++ {
+			e.cond.Signal()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// finish retires a completed run: its slot returns to the free list and
+// the submitter is released. Exactly one worker per run gets done=true
+// from Complete, so finish runs once.
+func (e *Engine) finish(r *Run) {
+	if !r.inst.ct.Done() {
+		r.err = fmt.Errorf("exec: engine run stalled at %d of %d strands (DAG deadlock)",
+			r.inst.ct.Executed(), r.inst.eg.NumStrands())
+	}
+	e.mu.Lock()
+	e.freeSlot = append(e.freeSlot, r.slot)
+	e.active--
+	if e.closed && e.active == 0 {
+		e.epoch++
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	r.done <- struct{}{}
+}
+
+func (e *Engine) worker(self int) {
+	defer e.wg.Done()
+	d := e.deques[self]
+	rng := uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	ready := make([]int32, 0, 64)
+	scratch := make([]int32, 0, 64)
+	next := int64(-1)
+	for {
+		t := next
+		next = -1
+		if t < 0 {
+			var ok bool
+			if t, ok = d.pop(); !ok {
+				if t, ok = e.acquire(self, &rng); !ok {
+					return
+				}
+			}
+		}
+		slot, id := unpackTask(t)
+		r := (*e.slots.Load())[slot]
+		inst := r.inst
+		if leaf := inst.eg.Strand(id); leaf.Run != nil {
+			leaf.Run()
+		}
+		var finished bool
+		ready, scratch, finished = inst.ct.Complete(id, ready[:0], scratch)
+		if n := len(ready); n > 0 {
+			// Keep one enabled strand as the next local task; the rest go
+			// on the deque for thieves (waking one if any are parked).
+			next = packTask(slot, ready[n-1])
+			for _, rid := range ready[:n-1] {
+				d.push(packTask(slot, rid))
+			}
+			if n > 1 && e.nSleep.Load() > 0 {
+				e.wake(n - 1)
+			}
+		}
+		if finished {
+			e.finish(r)
+		}
+	}
+}

@@ -286,7 +286,7 @@ func TestWSDequeStress(t *testing.T) {
 	}
 
 	for i := 0; i < items; i++ {
-		d.push(int32(i))
+		d.push(int64(i))
 		if i%3 == 0 {
 			if v, ok := d.pop(); ok {
 				got[v].Add(1)

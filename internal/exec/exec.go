@@ -142,7 +142,7 @@ func RunParallel(g *core.Graph, workers int) error {
 		deques[w] = newWSDeque(per)
 	}
 	for i, id := range initial {
-		deques[i%workers].push(id)
+		deques[i%workers].push(int64(id))
 	}
 
 	var wg sync.WaitGroup
@@ -154,7 +154,7 @@ func RunParallel(g *core.Graph, workers int) error {
 			rng := uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 			ready := make([]int32, 0, 16)
 			scratch := make([]int32, 0, 16)
-			next := int32(-1)
+			next := int64(-1)
 			idle := 0
 			for {
 				id := next
@@ -185,16 +185,16 @@ func RunParallel(g *core.Graph, workers int) error {
 					}
 				}
 				idle = 0
-				if leaf := eg.Strand(id); leaf.Run != nil {
+				if leaf := eg.Strand(int32(id)); leaf.Run != nil {
 					leaf.Run()
 				}
-				ready, scratch = ct.Complete(id, ready[:0], scratch)
+				ready, scratch, _ = ct.Complete(int32(id), ready[:0], scratch)
 				if n := len(ready); n > 0 {
 					// Keep one enabled strand as the next local task; the
 					// rest go on the deque for thieves.
-					next = ready[n-1]
+					next = int64(ready[n-1])
 					for _, r := range ready[:n-1] {
-						d.push(r)
+						d.push(int64(r))
 					}
 				}
 			}
@@ -209,8 +209,8 @@ func RunParallel(g *core.Graph, workers int) error {
 }
 
 // stealFrom probes random victims, then sweeps deterministically so no
-// available strand is ever missed. rng is a worker-local xorshift state.
-func stealFrom(deques []*wsDeque, self int, rng *uint64) (int32, bool) {
+// available task is ever missed. rng is a worker-local xorshift state.
+func stealFrom(deques []*wsDeque, self int, rng *uint64) (int64, bool) {
 	n := len(deques)
 	if n == 1 {
 		return 0, false

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment tables in testdata/")
+
+// volatileRows lists the experiments whose row content AND row count are
+// machine-dependent (wall-clock cells, worker ladders derived from
+// NumCPU). Their golden record pins only the shape: title, columns and
+// notes. Everything else is fully deterministic and compared verbatim.
+var volatileRows = map[string]bool{
+	"E9": true,
+}
+
+// renderMasked renders the table, dropping machine-dependent rows.
+func renderMasked(tab *Table) string {
+	masked := *tab
+	if volatileRows[tab.ID] {
+		masked.Rows = nil
+	}
+	var sb strings.Builder
+	masked.Fprint(&sb)
+	return sb.String()
+}
+
+// TestGoldenTables locks the experiment harness down: every registered
+// experiment, at Quick sizes, must render exactly the checked-in table.
+// A refactor that silently changes a reproduced paper number (a span, a
+// miss count, a makespan, an αmax) fails here. Regenerate deliberately
+// with:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if id == "E9" && testing.Short() {
+				t.Skip("wall-clock experiment")
+			}
+			tab, err := Run(id, Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderMasked(tab)
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden table (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("table %s drifted from its golden record.\n--- got ---\n%s--- want ---\n%s(regenerate deliberately with -update if the change is intended)",
+					id, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTablesDeterministic guards the golden scheme itself: two
+// back-to-back runs of every non-wall-clock experiment must render
+// identically, so golden failures always mean drift, never flake.
+func TestGoldenTablesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	for _, id := range IDs() {
+		if volatileRows[id] {
+			continue
+		}
+		a, err := Run(id, Config{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, Config{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderMasked(a) != renderMasked(b) {
+			t.Fatalf("%s renders differently across identical runs; it cannot be golden-tested", id)
+		}
+	}
+}

@@ -16,19 +16,25 @@
 //   - a Parallel Memory Hierarchy simulator with work-stealing and
 //     space-bounded schedulers, for reproducing the paper's Theorem 1 and
 //     Theorem 3 guarantees;
-//   - a real goroutine runtime executing ND DAGs on actual cores;
+//   - a real goroutine runtime executing ND DAGs on actual cores, both as
+//     one-shot runs (Run) and as a long-lived execution engine (NewEngine)
+//     with a shared worker pool, zero-allocation graph re-runs and a
+//     compiled-program cache;
 //   - ND and NP reference implementations of the paper's algorithm suite
 //     (matrix multiply, triangular solves, Cholesky, LU with partial
 //     pivoting, 1-D/2-D Floyd–Warshall, LCS) in subpackages of
 //     internal/algos, surfaced through the experiment harness.
 //
-// See the examples directory for runnable programs, DESIGN.md for the
-// architecture and EXPERIMENTS.md for the paper-versus-measured record.
+// See the examples directory for runnable programs and DESIGN.md for the
+// architecture; DESIGN.md's experiment index maps each table the harness
+// regenerates (E1…E9, A1…A2) to the paper claim it reproduces.
 package ndflow
 
 import (
 	"io"
+	"runtime"
 	"strconv"
+	"sync"
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/deps"
@@ -162,10 +168,63 @@ func (e *UncoveredError) Error() string {
 
 // --- Real execution
 
+// Engine is a long-lived work-stealing execution engine: a worker pool
+// spawned once (workers park when idle, they are never respawned per run)
+// that accepts concurrent submissions and multiplexes every in-flight
+// graph execution over one set of deques. Per-graph run state is pooled
+// and rewound by generation stamp, and Rewrite+Compile results are cached
+// per program, so re-running a cached program allocates nothing in the
+// steady state. Scheduling state is the engine's only per-run isolation:
+// concurrent in-flight runs of one graph execute the same strand closures
+// over the same data, so give each concurrent submitter its own graph
+// when strand bodies write.
+type Engine = exec.Engine
+
+// Submission is the handle of one in-flight engine execution; call Wait
+// (exactly once) to block until it completes.
+type Submission = exec.Run
+
+// NewEngine starts an engine with the given worker count (GOMAXPROCS when
+// workers ≤ 0). Submit work with Engine.Run or Engine.Submit; shut it
+// down with Engine.Close.
+func NewEngine(workers int) *Engine { return exec.NewEngine(workers) }
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the lazily-started package-default engine
+// (GOMAXPROCS workers). It lives for the process; Run uses it.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = exec.NewEngine(0) })
+	return defaultEngine
+}
+
 // Run executes the program's strands on a lock-free work-stealing
-// goroutine pool (workers ≤ 0 selects GOMAXPROCS): per-worker deques with
-// randomized stealing, readiness propagated by atomic indegree counters.
-func Run(g *Graph, workers int) error { return exec.RunParallel(g, workers) }
+// goroutine pool: per-worker deques with randomized stealing, readiness
+// propagated by atomic indegree counters. With workers ≤ 0 it is a
+// convenience wrapper over the package-default engine's shared, parked
+// worker pool — with per-call run state, so one-shot graphs are not
+// retained by the process-lifetime engine (create an Engine explicitly
+// to get cached, zero-allocation re-runs). An explicit worker count runs
+// a dedicated one-shot pool of exactly that size.
+func Run(g *Graph, workers int) error {
+	if workers <= 0 {
+		if runtime.GOMAXPROCS(0) == 1 {
+			// A default-sized pool has one worker: keep RunParallel's
+			// allocation-free compiled-schedule replay instead of paying
+			// tracker construction and an engine round-trip.
+			return exec.RunParallel(g, 1)
+		}
+		r, err := DefaultEngine().SubmitInstance(exec.NewInstance(g.Exec()))
+		if err != nil {
+			return err
+		}
+		return r.Wait()
+	}
+	return exec.RunParallel(g, workers)
+}
 
 // RunSerial executes the program's serial elision.
 func RunSerial(g *Graph) error { return exec.RunElision(g) }

@@ -130,6 +130,45 @@ func TestSimulatePolicies(t *testing.T) {
 	}
 }
 
+// TestEngineThroughFacade exercises the serving API: an explicit engine
+// with Submit handles and cached Engine.Run, plus ndflow.Run's
+// package-default-engine path (workers ≤ 0).
+func TestEngineThroughFacade(t *testing.T) {
+	var runs atomic.Int32
+	body := func() { runs.Add(1) }
+	a := ndflow.Strand("a", 1, nil, ndflow.Words(0, 4), body)
+	b := ndflow.Strand("b", 1, ndflow.Words(0, 4), nil, body)
+	p, err := ndflow.NewProgram(ndflow.Seq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ndflow.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := ndflow.NewEngine(2)
+	defer e.Close()
+	var sub *ndflow.Submission
+	if sub, err = e.Submit(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // cached program path
+		if err := e.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ndflow.Run(g, 0); err != nil { // package-default engine
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 10 {
+		t.Fatalf("strand bodies ran %d times, want 10", got)
+	}
+}
+
 func TestDOTThroughFacade(t *testing.T) {
 	a := ndflow.Strand("a", 1, nil, nil, nil)
 	b := ndflow.Strand("b", 1, nil, nil, nil)

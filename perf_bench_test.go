@@ -1,10 +1,12 @@
 // Micro-benchmarks for the compiled-core pipeline: the DAG Rewriting
-// System (BenchmarkRewrite), the CSR compile step (BenchmarkCompile) and
-// the real-machine runtime (BenchmarkRunParallel vs. the retired
-// mutex-serialized baseline) on large Floyd–Warshall and LU instances.
-// Run with
+// System (BenchmarkRewrite), the CSR compile step (BenchmarkCompile), the
+// real-machine runtime (BenchmarkRunParallel vs. the retired
+// mutex-serialized baseline) and the long-lived execution engine
+// (BenchmarkEngineRerun for zero-alloc cached re-runs,
+// BenchmarkEngineThroughput vs. BenchmarkSpawnPerRunThroughput for
+// concurrent serving) on large Floyd–Warshall and LU instances. Run with
 //
-//	go test -bench 'Rewrite|Compile|RunParallel' -benchmem
+//	go test -bench 'Rewrite|Compile|RunParallel|Engine|SpawnPerRun' -benchmem
 //
 // to measure both throughput and per-strand allocation behaviour.
 package ndflow_test
@@ -146,4 +148,72 @@ func BenchmarkRunParallelLU(b *testing.B) {
 // BenchmarkRunParallelMutexLU is the live-body baseline.
 func BenchmarkRunParallelMutexLU(b *testing.B) {
 	benchRuntime(b, luGraph(b, 128, 8), 0, exec.RunParallelMutex)
+}
+
+// BenchmarkEngineRerun measures steady-state re-execution of one cached
+// program on a long-lived engine: the program cache serves the compiled
+// graph, the instance pool serves a generation-rewound tracker, and a run
+// allocates nothing (the allocs/op column is the claim).
+func BenchmarkEngineRerun(b *testing.B) {
+	g := fwSchedGraph(b, 256, 4)
+	p := g.P
+	e := exec.NewEngine(0)
+	defer e.Close()
+	for i := 0; i < 3; i++ { // warm: compile cache, instance pool, deque growth
+		if err := e.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	strands := float64(len(p.Leaves))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+}
+
+// BenchmarkEngineThroughput drives one engine from ≥ 4 concurrent
+// submitters re-running the same cached program; compare against
+// BenchmarkSpawnPerRunThroughput, which pays pool spawn plus tracker
+// allocation on every run.
+func BenchmarkEngineThroughput(b *testing.B) {
+	g := fwSchedGraph(b, 256, 4)
+	e := exec.NewEngine(4)
+	defer e.Close()
+	if err := e.Run(g.P); err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(4) // ≥ 4 submitter goroutines even on GOMAXPROCS=1
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := e.Run(g.P); err != nil {
+				b.Error(err) // Fatal must not be called off the benchmark goroutine
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSpawnPerRunThroughput is the spawn-per-run baseline for
+// BenchmarkEngineThroughput: the same concurrent submitters, each call
+// building a fresh 4-worker pool, deques and tracker.
+func BenchmarkSpawnPerRunThroughput(b *testing.B) {
+	g := fwSchedGraph(b, 256, 4)
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := exec.RunParallel(g, 4); err != nil {
+				b.Error(err) // Fatal must not be called off the benchmark goroutine
+				return
+			}
+		}
+	})
 }
