@@ -14,9 +14,17 @@
 //
 //	ndbench -serve                            # defaults: FW-1D n=256, 4×200
 //	ndbench -serve -submitters 8 -repeats 500 -algo TRS -n 128 -nilbodies
+//
+// Passing -json in either mode emits the result tables as a JSON array on
+// stdout instead of printed tables, for machine-readable benchmark
+// trajectories (BENCH_*.json files, CI trend tooling):
+//
+//	ndbench -quick -json > bench.json
+//	ndbench -serve -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +40,10 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("experiment", "", "experiment ID to run (default: all)")
-		quick = flag.Bool("quick", false, "use reduced problem sizes")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		id      = flag.String("experiment", "", "experiment ID to run (default: all)")
+		quick   = flag.Bool("quick", false, "use reduced problem sizes")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonOut = flag.Bool("json", false, "emit result tables as a JSON array on stdout")
 
 		serve      = flag.Bool("serve", false, "run the engine serving benchmark instead of experiments")
 		submitters = flag.Int("submitters", 4, "serving mode: concurrent submitter goroutines")
@@ -54,32 +63,62 @@ func main() {
 		return
 	}
 	if *serve {
-		if err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies); err != nil {
-			fmt.Fprintln(os.Stderr, "ndbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	cfg := experiments.Config{Quick: *quick}
-	if *id != "" {
-		table, err := experiments.Run(*id, cfg)
+		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ndbench:", err)
 			os.Exit(1)
 		}
-		table.Fprint(os.Stdout)
+		emit([]*experiments.Table{table}, *jsonOut)
 		return
 	}
-	if err := experiments.RunAll(cfg, os.Stdout); err != nil {
+	cfg := experiments.Config{Quick: *quick}
+	if *id == "" && !*jsonOut {
+		// Human-readable full sweep streams each table as it finishes —
+		// full-size experiments take minutes, so don't buffer them.
+		if err := experiments.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ndbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	ids := experiments.IDs()
+	if *id != "" {
+		ids = []string{*id}
+	}
+	tables := make([]*experiments.Table, 0, len(ids))
+	for _, eid := range ids {
+		table, err := experiments.Run(eid, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndbench: %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		tables = append(tables, table)
+	}
+	emit(tables, *jsonOut)
+}
+
+// emit renders tables either human-readably or as one JSON array, the
+// machine-readable form benchmark-trajectory tooling consumes. A JSON
+// document must be complete to parse, so -json buffers the sweep.
+func emit(tables []*experiments.Table, jsonOut bool) {
+	if !jsonOut {
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tables); err != nil {
 		fmt.Fprintln(os.Stderr, "ndbench:", err)
 		os.Exit(1)
 	}
 }
 
-// serveBench measures serving throughput: submitters × repeats runs,
-// first through a shared engine (compiled-graph cache, pooled instances,
-// parked workers), then through spawn-per-run exec.RunParallel calls on
-// the same worker count.
+// serveBench measures serving throughput and returns the result table:
+// submitters × repeats runs, first through a shared engine
+// (compiled-graph cache, pooled instances, parked workers), then through
+// spawn-per-run exec.RunParallel calls on the same worker count.
 //
 // With live strand bodies each submitter re-runs its own instance (its
 // own backing matrices, like distinct requests in a server) — concurrent
@@ -88,7 +127,7 @@ func main() {
 // like the default FW-1D, not for in-place destructive factorizations
 // (LU, Cholesky, TRS). -nilbodies strips the closures, shares one graph
 // across submitters, and isolates scheduling overhead for any algorithm.
-func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies bool) error {
+func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies bool) (*experiments.Table, error) {
 	// Pure forward recurrences recompute the same table from untouched
 	// inputs, so re-running one instance is sound; everything else (the
 	// in-place destructive factorizations and solves) must serve with
@@ -96,11 +135,11 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 	// computation on already-consumed data.
 	rerunnable := map[string]bool{"FW-1D": true, "LCS": true, "Stencil": true}
 	if !nilBodies && !rerunnable[algo] {
-		return fmt.Errorf("-serve with live bodies re-runs each instance in place, which is only sound for pure forward recurrences (FW-1D, LCS, Stencil); pass -nilbodies to serve %s", algo)
+		return nil, fmt.Errorf("-serve with live bodies re-runs each instance in place, which is only sound for pure forward recurrences (FW-1D, LCS, Stencil); pass -nilbodies to serve %s", algo)
 	}
 	b, err := experiments.BuilderByName(algo)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	graphs := make([]*core.Graph, submitters)
 	for s := range graphs {
@@ -109,7 +148,7 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 			continue
 		}
 		if graphs[s], err = b.Build(algos.ND, n, base); err != nil {
-			return err
+			return nil, err
 		}
 		if nilBodies {
 			for _, l := range graphs[s].P.Leaves {
@@ -125,7 +164,7 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 	defer eng.Close()
 	for _, g := range graphs { // warm the caches outside the clock
 		if err := eng.Run(g.P); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
@@ -144,7 +183,7 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 	for _, mode := range modes {
 		wall, allocs, bytes, err := drive(mode.run, submitters, repeats)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		runs := submitters * repeats
 		t.AddRow(mode.name, runs, wall.Round(time.Millisecond).String(),
@@ -156,8 +195,7 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 		t.Note("workers=1: the spawn-per-run baseline degenerates to replaying the compiled serial schedule")
 		t.Note("(no pool, no tracker, no spawn) — compare engines at -workers ≥ 2 for the serving comparison")
 	}
-	t.Fprint(os.Stdout)
-	return nil
+	return t, nil
 }
 
 // drive fans runs out over concurrent submitters (each told its index,

@@ -1,10 +1,13 @@
 // Cross-runtime differential tests: every algorithm builder executed via
-// the serial elision, the mutex-serialized baseline, the lock-free work
+// the serial elision, the adversarial serial orders (random topological,
+// reverse greedy), the mutex-serialized baseline, the lock-free work
 // stealer and the long-lived engine must produce bit-identical output
-// matrices. All runtimes execute the same strand closures and the deps
+// matrices. All runtimes propagate readiness through the strand-level
+// wake graph (serial drivers via Tracker, parallel ones via
+// ConcurrentTracker), all execute the same strand closures, and the deps
 // validator guarantees conflicting accesses are ordered by the DAG, so
-// any divergence — down to the last mantissa bit — is a scheduler bug.
-// Run under -race in CI.
+// any divergence — down to the last mantissa bit — is a scheduler or
+// wake-graph-collapse bug. Run under -race in CI.
 package ndflow_test
 
 import (
@@ -204,6 +207,8 @@ func TestRuntimesBitIdentical(t *testing.T) {
 		run  func(g *core.Graph) error
 	}{
 		{"elision", exec.RunElision},
+		{"random-topo", func(g *core.Graph) error { return exec.RunRandomTopo(g, 99) }},
+		{"reverse-greedy", exec.RunReverseGreedy},
 		{"mutex-4", func(g *core.Graph) error { return exec.RunParallelMutex(g, 4) }},
 		{"lockfree-4", func(g *core.Graph) error { return exec.RunParallel(g, 4) }},
 		{"engine", func(g *core.Graph) error {

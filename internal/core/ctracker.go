@@ -5,34 +5,39 @@ import (
 )
 
 // ConcurrentTracker is the lock-free counterpart of Tracker: readiness is
-// propagated with atomic indegree decrements, so any number of workers can
+// propagated with atomic counter decrements, so any number of workers can
 // complete strands and collect newly-ready work without a global lock.
 //
+// It operates on the strand-level wake graph (see WakeGraph), not the raw
+// event graph: Complete(id) is a flat loop over strand id's wake list —
+// one atomic decrement per waiting counter — with no DFS over relay
+// chains, no per-vertex strand filtering, and |strands|+|relays| counters
+// of mutable state instead of 2·|Nodes|.
+//
 // The firing discipline makes concurrent cascades safe without per-vertex
-// state: every vertex's counter reaches its firing value exactly once, and
-// only the worker that performs the firing decrement continues the cascade
-// from that vertex, so ownership of each firing is linearized by the
-// atomic decrement itself.
+// state: every counter reaches its firing value exactly once, and only
+// the worker that performs the firing decrement continues from it, so
+// ownership of each firing is linearized by the atomic decrement itself.
+// Weighted decrements keep this exact: the weights delivered to a counter
+// per run sum to exactly its per-run need, so no decrement can step over
+// the firing value.
 //
 // A tracker is reusable: Reset rewinds it to the pre-run state in O(1) by
-// advancing a generation stamp instead of re-copying the indegree array.
-// Counters are never re-initialized; each run drains vertex v by exactly
-// runDrop[v] decrements, so after g completed runs the counter sits at
-// runDrop[v]·(1−g) and the firing value of generation g is
-// runDrop[v]·(1−g). All arithmetic is int32 and wraps mod 2³²; the firing
-// comparison stays exact under wrap-around because within one run the
-// counter traverses runDrop[v] < 2³² distinct residues, so no mid-run
-// value can collide with the firing value.
+// advancing a generation stamp instead of re-copying the counter array.
+// Counters are never re-initialized; each run drains counter t by exactly
+// need[t] decrement weight, so after g completed runs the counter sits at
+// need[t]·(1−g) and the firing value of generation g is need[t]·(1−g).
+// All arithmetic is int32 and wraps mod 2³²; the firing comparison stays
+// exact under wrap-around because within one run the counter traverses
+// need[t] < 2³² distinct residues, so no mid-run value can collide with
+// the firing value.
 type ConcurrentTracker struct {
-	eg *ExecGraph
+	wg *WakeGraph
 
-	// indeg[v] counts down forever across generations; accessed atomically
-	// after construction.
-	indeg []int32
-	// runDrop[v] is the number of decrements v receives during one run:
-	// its initial indegree minus the decrements delivered once and for all
-	// by the construction-time pre-cascade from the source vertices.
-	runDrop []int32
+	// cnt[t] counts down forever across generations; accessed atomically
+	// after construction. Indexed like WakeGraph counters: t < NumStrands
+	// is strand t's ready gate, t ≥ NumStrands is a relay.
+	cnt []int32
 	// gen is the 1-based generation (run number). Written only by Reset,
 	// which callers must serialize with run completion (see Reset).
 	gen int32
@@ -43,56 +48,32 @@ type ConcurrentTracker struct {
 	// enabled minus the completed strand), so it can only reach zero when
 	// no work remains anywhere: it is the runtime's termination latch.
 	pending atomic.Int64
-
-	initial []int32
 }
 
 // NewConcurrentTracker returns a tracker over the compiled event graph
 // with the initially-enabled strands collected (see InitialReady). The
-// construction itself is single-threaded.
+// construction itself is single-threaded; the wake-graph collapse is
+// computed once per ExecGraph and shared.
 func NewConcurrentTracker(eg *ExecGraph) *ConcurrentTracker {
-	t := &ConcurrentTracker{eg: eg, runDrop: eg.InitIndegrees(nil), gen: 1}
-	// Serial pre-cascade: fire every source vertex; strand starts park as
-	// ready. The decrements it delivers are independent of any strand's
-	// execution, so they are applied once here and excluded from runDrop —
-	// every later generation replays only the runtime decrements.
-	var stack []int32
-	for v := 0; v < eg.NumVertices(); v++ {
-		if t.runDrop[v] == 0 {
-			stack = append(stack, int32(v))
-		}
-	}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if s := eg.VertexStrand(v); s >= 0 && !eg.IsEnd(v) {
-			t.initial = append(t.initial, s)
-			continue
-		}
-		for _, w := range eg.Succ(v) {
-			t.runDrop[w]--
-			if t.runDrop[w] == 0 {
-				stack = append(stack, w)
-			}
-		}
-	}
-	t.indeg = make([]int32, eg.NumVertices())
-	copy(t.indeg, t.runDrop)
-	t.pending.Store(int64(len(t.initial)))
+	w := eg.Wake()
+	t := &ConcurrentTracker{wg: w, gen: 1}
+	t.cnt = append([]int32(nil), w.need...)
+	t.pending.Store(int64(len(w.initial)))
 	return t
 }
 
 // InitialReady returns the strands ready before any completion, as strand
 // IDs. The set is identical in every generation. The slice is shared;
 // callers must not modify it.
-func (t *ConcurrentTracker) InitialReady() []int32 { return t.initial }
+func (t *ConcurrentTracker) InitialReady() []int32 { return t.wg.initial }
 
 // Complete marks the ready strand id as executed and cascades readiness.
-// Newly-ready strand IDs are appended to ready; scratch is reused cascade
-// storage. Both slices (possibly grown) are returned along with done,
-// which is true for exactly the one completion per generation that
-// finished the run (no strand ready or running anywhere afterwards), so a
-// worker calling in a loop performs no steady-state allocation:
+// Newly-ready strand IDs are appended to ready; scratch holds relay rows
+// fired along the way (usually none). Both slices (possibly grown) are
+// returned along with done, which is true for exactly the one completion
+// per generation that finished the run (no strand ready or running
+// anywhere afterwards), so a worker calling in a loop performs no
+// steady-state allocation:
 //
 //	ready, scratch, done = t.Complete(id, ready[:0], scratch)
 //
@@ -100,24 +81,31 @@ func (t *ConcurrentTracker) InitialReady() []int32 { return t.initial }
 // buffers. A strand must be completed exactly once per generation, and
 // only after it was handed out by InitialReady or a previous Complete.
 func (t *ConcurrentTracker) Complete(id int32, ready, scratch []int32) ([]int32, []int32, bool) {
-	eg := t.eg
+	w := t.wg
 	n0 := len(ready)
-	// Firing value of this generation: runDrop[w]·(1−gen), wrapping.
+	// Firing value of this generation: need[c]·(1−gen), wrapping.
 	genOff := 1 - t.gen
-	scratch = append(scratch[:0], eg.StrandStart(id))
-	for len(scratch) > 0 {
-		v := scratch[len(scratch)-1]
-		scratch = scratch[:len(scratch)-1]
-		for _, w := range eg.Succ(v) {
-			if atomic.AddInt32(&t.indeg[w], -1) != genOff*t.runDrop[w] {
+	nStrands := int32(w.numStrands)
+	scratch = scratch[:0]
+	row := id
+	for {
+		for k := w.wakeOff[row]; k < w.wakeOff[row+1]; k++ {
+			c := w.targets[k]
+			if atomic.AddInt32(&t.cnt[c], -w.weights[k]) != genOff*w.need[c] {
 				continue
 			}
-			if s := eg.VertexStrand(w); s >= 0 && !eg.IsEnd(w) {
-				ready = append(ready, s)
+			if c < nStrands {
+				ready = append(ready, c)
 			} else {
-				scratch = append(scratch, w)
+				scratch = append(scratch, c)
 			}
 		}
+		n := len(scratch)
+		if n == 0 {
+			break
+		}
+		row = scratch[n-1]
+		scratch = scratch[:n-1]
 	}
 	t.executed.Add(1)
 	// One atomic add covers both this completion and the enables, so
@@ -128,7 +116,7 @@ func (t *ConcurrentTracker) Complete(id int32, ready, scratch []int32) ([]int32,
 
 // Reset rewinds the tracker for another run of the same graph in O(1):
 // the generation stamp advances and the executed/pending counters rewind;
-// the indegree array is left alone (see the type comment). It must only
+// the wake counters are left alone (see the type comment). It must only
 // be called when the previous run has fully completed (Done reports
 // true), and never concurrently with Complete; callers
 // re-publishing the tracker to workers must establish happens-before
@@ -139,7 +127,7 @@ func (t *ConcurrentTracker) Reset() {
 	}
 	t.gen++
 	t.executed.Store(0)
-	t.pending.Store(int64(len(t.initial)))
+	t.pending.Store(int64(len(t.wg.initial)))
 }
 
 // Generation returns the 1-based run number the tracker is serving.
@@ -149,7 +137,7 @@ func (t *ConcurrentTracker) Generation() int32 { return t.gen }
 func (t *ConcurrentTracker) Executed() int64 { return t.executed.Load() }
 
 // Done reports whether every strand has been executed this generation.
-func (t *ConcurrentTracker) Done() bool { return t.executed.Load() == int64(t.eg.NumStrands()) }
+func (t *ConcurrentTracker) Done() bool { return t.executed.Load() == int64(t.wg.numStrands) }
 
 // Quiescent reports whether no strand is ready or running. Together with
 // !Done it distinguishes a finished run from a stalled DAG; workers use it

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sync"
+)
 
 // ExecGraph is the compiled, flat form of an event graph: the adjacency of
 // every vertex in CSR (compressed sparse row) layout, a precomputed
@@ -35,6 +39,9 @@ type ExecGraph struct {
 
 	leafWork []int64 // per node ID: strand work (0 for internal nodes)
 	strandOf []int32 // per node ID: strand index, or -1 for internal nodes
+
+	wakeOnce sync.Once
+	wake     *WakeGraph // strand-level collapse, built lazily by Wake
 }
 
 // NewExecGraph compiles the event graph of p induced by the given dataflow
@@ -43,6 +50,9 @@ type ExecGraph struct {
 // Duplicate arrows produce parallel edges, so callers should deduplicate
 // first (Rewrite does). It fails if the combined graph has a cycle.
 func NewExecGraph(p *Program, arrows []Arrow) (*ExecGraph, error) {
+	if err := checkCSRBounds(int64(len(p.Nodes)), countEventEdges(p, len(arrows))); err != nil {
+		return nil, err
+	}
 	n := 2 * len(p.Nodes)
 	e := &ExecGraph{
 		p:        p,
@@ -138,6 +148,35 @@ func NewExecGraph(p *Program, arrows []Arrow) (*ExecGraph, error) {
 	return e, nil
 }
 
+// countEventEdges returns the total event-graph edge count (tree edges
+// plus dataflow arrows) in 64-bit arithmetic, so the CSR bounds check
+// runs before any int32 vertex or offset could overflow.
+func countEventEdges(p *Program, arrows int) int64 {
+	edges := int64(arrows)
+	for _, node := range p.Nodes {
+		if node.IsLeaf() {
+			edges++ // start → end
+		} else {
+			edges += 2 * int64(len(node.Children)) // start→start(c), end(c)→end
+		}
+	}
+	return edges
+}
+
+// checkCSRBounds rejects programs whose event graph does not fit the
+// int32 CSR layout: vertex IDs are 2·|Nodes| int32s and the offset arrays
+// index the edge list with int32 cursors, so exceeding either bound would
+// silently corrupt adjacency rather than fail.
+func checkCSRBounds(nodes, edges int64) error {
+	if nodes > math.MaxInt32/2 {
+		return fmt.Errorf("program has %d nodes; the int32 CSR vertex space holds at most %d", nodes, math.MaxInt32/2)
+	}
+	if edges > math.MaxInt32 {
+		return fmt.Errorf("event graph has %d edges; the int32 CSR offsets hold at most %d", edges, math.MaxInt32)
+	}
+	return nil
+}
+
 // forEachTreeEdge enumerates the spawn-tree-induced event edges:
 // start(n) → start(c) and end(c) → end(n) for children, and
 // start(n) → end(n) for strands.
@@ -156,6 +195,15 @@ func forEachTreeEdge(p *Program, edge func(u, v int32)) {
 
 // Program returns the program this graph was compiled from.
 func (e *ExecGraph) Program() *Program { return e.p }
+
+// Wake returns the strand-level wake graph: the event graph with relay
+// vertices chain-contracted away (see WakeGraph). It is collapsed once on
+// first use and shared — trackers over the same ExecGraph reuse it — and
+// is safe to request concurrently.
+func (e *ExecGraph) Wake() *WakeGraph {
+	e.wakeOnce.Do(func() { e.wake = newWakeGraph(e) })
+	return e.wake
+}
 
 // NumVertices returns the number of event-graph vertices.
 func (e *ExecGraph) NumVertices() int { return e.numVerts }

@@ -118,17 +118,20 @@ func (n *Node) Descend(p Pedigree) (*Node, error) {
 
 // DescendAll follows the pedigree like Descend, expanding each Wildcard
 // component to every child of the current node. It returns all reached
-// nodes (deduplicated when strands truncate distinct paths).
+// nodes (deduplicated when strands truncate distinct paths). The result
+// set doubles as the seen-set — frontiers are a handful of nodes, so a
+// linear scan beats a per-component map allocation on the DRS hot path.
 func (n *Node) DescendAll(p Pedigree) ([]*Node, error) {
 	cur := []*Node{n}
 	for ci, idx := range p {
 		var next []*Node
-		seen := map[*Node]bool{}
 		add := func(m *Node) {
-			if !seen[m] {
-				seen[m] = true
-				next = append(next, m)
+			for _, x := range next {
+				if x == m {
+					return
+				}
 			}
+			next = append(next, m)
 		}
 		for _, c := range cur {
 			if c.Kind == KindStrand {

@@ -2,63 +2,55 @@ package core
 
 import "fmt"
 
-// Tracker tracks execution progress over a program's event graph. Strand
-// start vertices act as gates: when a gate's dependencies are all fired the
-// strand becomes ready; executing the strand (Complete) fires the gate and
-// the strand's end, cascading readiness to successors.
+// Tracker tracks execution progress over a program's algorithm DAG. It
+// runs on the strand-level wake graph (see WakeGraph): each strand has a
+// ready gate counting outstanding dependencies, completing a strand
+// decrements the counters on its wake list, and relay counters collapse
+// wide joins. Gates that reach zero make their strand ready.
 //
 // Ready strands are tracked by strand ID (serial-elision index); the
 // *Node-based accessors remain for convenience. Tracker is not safe for
 // concurrent use; parallel runtimes use ConcurrentTracker instead.
 type Tracker struct {
-	eg       *ExecGraph
-	indeg    []int32
-	fired    []bool
-	executed int
-	ready    []int32 // strand IDs enabled since the last TakeReady*
+	wg        *WakeGraph
+	cnt       []int32 // per counter: remaining decrement weight this run
+	completed []bool  // per strand
+	executed  int
+	ready     []int32 // strand IDs enabled since the last TakeReady*
 }
 
 // NewTracker returns a tracker with all initially-enabled strands ready.
 func NewTracker(g *Graph) *Tracker { return NewExecTracker(g.Exec()) }
 
 // NewExecTracker returns a tracker over a compiled event graph.
-func NewExecTracker(eg *ExecGraph) *Tracker {
-	n := eg.NumVertices()
-	t := &Tracker{eg: eg, indeg: eg.InitIndegrees(nil), fired: make([]bool, n)}
-	// Enable from the pre-cascade snapshot: vertices that reach indegree
-	// zero during the cascade are enabled by fire itself, and a vertex
-	// with no predecessors can never be re-enabled by a decrement.
-	var zeros []int32
-	for v := 0; v < n; v++ {
-		if t.indeg[v] == 0 {
-			zeros = append(zeros, int32(v))
-		}
+func NewExecTracker(eg *ExecGraph) *Tracker { return newWakeTracker(eg.Wake()) }
+
+// newWakeTracker returns a tracker over an explicit wake graph (tests
+// drive the uncontracted fallback form through it).
+func newWakeTracker(w *WakeGraph) *Tracker {
+	t := &Tracker{
+		wg:        w,
+		cnt:       append([]int32(nil), w.need...),
+		completed: make([]bool, w.numStrands),
 	}
-	for _, v := range zeros {
-		t.enable(v)
-	}
+	t.ready = append(t.ready, w.initial...)
 	return t
 }
 
-// enable handles a vertex whose dependencies are satisfied: strand starts
-// become ready gates, everything else fires immediately.
-func (t *Tracker) enable(v int32) {
-	if s := t.eg.VertexStrand(v); s >= 0 && !t.eg.IsEnd(v) {
-		t.ready = append(t.ready, s)
-		return
-	}
-	t.fire(v)
-}
-
-func (t *Tracker) fire(v int32) {
-	if t.fired[v] {
-		return
-	}
-	t.fired[v] = true
-	for _, w := range t.eg.Succ(v) {
-		t.indeg[w]--
-		if t.indeg[w] == 0 {
-			t.enable(w)
+// fire delivers row's wake list: gates reaching zero park their strand as
+// ready, relay counters reaching zero fire their own row recursively.
+func (t *Tracker) fire(row int32) {
+	w := t.wg
+	for k := w.wakeOff[row]; k < w.wakeOff[row+1]; k++ {
+		c := w.targets[k]
+		t.cnt[c] -= w.weights[k]
+		if t.cnt[c] != 0 {
+			continue
+		}
+		if int(c) < w.numStrands {
+			t.ready = append(t.ready, c)
+		} else {
+			t.fire(c)
 		}
 	}
 }
@@ -72,7 +64,7 @@ func (t *Tracker) TakeReady() []*Node {
 	}
 	r := make([]*Node, len(t.ready))
 	for i, id := range t.ready {
-		r[i] = t.eg.Strand(id)
+		r[i] = t.wg.eg.Strand(id)
 	}
 	t.ready = t.ready[:0]
 	return r
@@ -87,11 +79,11 @@ func (t *Tracker) TakeReadyIDs(dst []int32) []int32 {
 	return dst
 }
 
-// IsReady reports whether the strand's start gate is open (all
-// dependencies fired) but the strand has not been completed yet.
+// IsReady reports whether the strand's ready gate is open (all
+// dependencies delivered) but the strand has not been completed yet.
 func (t *Tracker) IsReady(leaf *Node) bool {
-	v := StartVertex(leaf)
-	return !t.fired[v] && t.indeg[v] == 0
+	id := t.wg.eg.StrandID(leaf)
+	return !t.completed[id] && t.cnt[id] == 0
 }
 
 // Complete marks a ready strand as executed and propagates readiness.
@@ -103,23 +95,31 @@ func (t *Tracker) Complete(leaf *Node) error {
 	if !t.IsReady(leaf) {
 		return fmt.Errorf("tracker: strand %q (leaf %d) executed before its dependencies", leaf.Label, leaf.ID)
 	}
-	t.fire(StartVertex(leaf))
+	id := t.wg.eg.StrandID(leaf)
+	t.completed[id] = true
+	t.fire(id)
 	t.executed++
 	return nil
 }
 
 // CompleteID is Complete for a strand identified by ID.
-func (t *Tracker) CompleteID(id int32) error { return t.Complete(t.eg.Strand(id)) }
+func (t *Tracker) CompleteID(id int32) error { return t.Complete(t.wg.eg.Strand(id)) }
 
 // Done reports whether every strand has been executed.
-func (t *Tracker) Done() bool { return t.executed == t.eg.NumStrands() }
+func (t *Tracker) Done() bool { return t.executed == t.wg.numStrands }
 
 // Executed returns the number of strands completed so far.
 func (t *Tracker) Executed() int { return t.executed }
 
-// NodeDone reports whether the task's subtree has fully executed
-// (its end vertex has fired).
-func (t *Tracker) NodeDone(n *Node) bool { return t.fired[EndVertex(n)] }
-
-// NodeStarted reports whether the task's start vertex has fired.
-func (t *Tracker) NodeStarted(n *Node) bool { return t.fired[StartVertex(n)] }
+// NodeDone reports whether the task's subtree has fully executed: in the
+// event graph the task's end vertex fires exactly when every strand under
+// it has completed, which the wake graph tracks per strand. O(leaves of n).
+func (t *Tracker) NodeDone(n *Node) bool {
+	lo, hi := n.LeafRange()
+	for i := lo; i < hi; i++ {
+		if !t.completed[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -14,9 +14,10 @@ import (
 var ErrEngineClosed = errors.New("exec: engine is closed")
 
 // Instance is the reusable per-graph run state: one ConcurrentTracker over
-// a compiled ExecGraph. Because the tracker rewinds by generation stamp
-// (core.ConcurrentTracker.Reset), the same instance can execute its graph
-// any number of times with zero steady-state allocation. Instances are
+// a compiled ExecGraph's strand-level wake graph. Because the tracker
+// rewinds by generation stamp (core.ConcurrentTracker.Reset), the same
+// instance can execute its graph any number of times with zero
+// steady-state allocation. Instances are
 // managed internally by Engine.Submit's per-graph pool; NewInstance plus
 // Engine.SubmitInstance is for callers who want to own the reuse cycle
 // themselves.

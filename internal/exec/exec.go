@@ -100,9 +100,10 @@ func RunReverseGreedy(g *core.Graph) error {
 // GOMAXPROCS when workers ≤ 0) with no global lock: each worker owns a
 // Chase–Lev deque of ready strand IDs, pops locally in LIFO order
 // (depth-first locality), and steals from random victims when dry.
-// Readiness propagates through ConcurrentTracker's atomic indegree
-// counters, so both strand bodies and dependency wake-ups scale with
-// cores, and the steady state allocates nothing per strand.
+// Readiness propagates through ConcurrentTracker's atomic counters over
+// the strand-level wake graph — one atomic decrement per waiting counter
+// per completion — so both strand bodies and dependency wake-ups scale
+// with cores, and the steady state allocates nothing per strand.
 func RunParallel(g *core.Graph, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -253,7 +254,7 @@ func stealFrom(deques []*wsDeque, self int, rng *uint64) (int64, bool) {
 // code should call RunParallel.
 func RunParallelMutex(g *core.Graph, workers int) error {
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0) // same default as RunParallel
 	}
 	t := core.NewTracker(g)
 

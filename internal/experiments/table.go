@@ -13,13 +13,15 @@ import (
 	"strings"
 )
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. The JSON form (see
+// `ndbench -json`) is the machine-readable shape downstream tooling
+// tracks across commits.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.

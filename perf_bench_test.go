@@ -87,6 +87,26 @@ func BenchmarkCompile(b *testing.B) {
 	b.ReportMetric(float64(g.Exec().NumVertices()), "vertices")
 }
 
+// BenchmarkCompileWake isolates the wake-graph collapse: contracting the
+// relay vertices of a compiled event graph into the strand-level CSR the
+// trackers run on. Paid once per ExecGraph, amortized across runs.
+func BenchmarkCompileWake(b *testing.B) {
+	g := core.MustRewrite(fwProgram(b, 256, 8))
+	b.ResetTimer()
+	b.ReportAllocs()
+	var counters int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // the CSR compile itself is measured by BenchmarkCompile
+		eg, err := core.NewExecGraph(g.P, g.Arrows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		counters = eg.Wake().NumCounters()
+	}
+	b.ReportMetric(float64(counters), "counters")
+}
+
 // fwSchedGraph is a large FW event graph with the strand bodies stripped,
 // so runtime benchmarks measure scheduling and readiness propagation, not
 // the numerics inside the strands.
