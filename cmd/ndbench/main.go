@@ -34,6 +34,7 @@ import (
 
 	"github.com/ndflow/ndflow/internal/algos"
 	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/dyn"
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/experiments"
 )
@@ -53,6 +54,7 @@ func main() {
 		base       = flag.Int("base", 8, "serving mode: divide-and-conquer base case")
 		workers    = flag.Int("workers", 0, "serving mode: engine worker count (0 = GOMAXPROCS)")
 		nilBodies  = flag.Bool("nilbodies", false, "serving mode: strip strand closures (pure scheduling)")
+		dynMode    = flag.Bool("dyn", false, "serving mode: add the dynamic runtime (online Spawn/Future replay) as a third row")
 	)
 	flag.Parse()
 
@@ -63,7 +65,7 @@ func main() {
 		return
 	}
 	if *serve {
-		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies)
+		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies, *dynMode)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ndbench:", err)
 			os.Exit(1)
@@ -127,7 +129,7 @@ func emit(tables []*experiments.Table, jsonOut bool) {
 // like the default FW-1D, not for in-place destructive factorizations
 // (LU, Cholesky, TRS). -nilbodies strips the closures, shares one graph
 // across submitters, and isolates scheduling overhead for any algorithm.
-func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies bool) (*experiments.Table, error) {
+func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies, dynMode bool) (*experiments.Table, error) {
 	// Pure forward recurrences recompute the same table from untouched
 	// inputs, so re-running one instance is sound; everything else (the
 	// in-place destructive factorizations and solves) must serve with
@@ -179,6 +181,26 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 	}{
 		{"engine", func(s int) error { return eng.Run(graphs[s].P) }},
 		{"spawn-per-run", func(s int) error { return exec.RunParallel(graphs[s], workers) }},
+	}
+	if dynMode {
+		// The online runtime replaying the same strand closures through
+		// Spawn/Future gating on the shared engine: what the same serving
+		// load costs when the DAG is discovered per run instead of
+		// compiled once. Dependency analysis is precomputed per graph,
+		// the dynamic analogue of the engine's program cache.
+		roots := make([]dyn.Task, submitters)
+		for s, g := range graphs {
+			if s > 0 && nilBodies {
+				roots[s] = roots[0]
+				continue
+			}
+			eg := g.Exec()
+			roots[s] = dyn.Replay(eg, dyn.StrandDeps(eg))
+		}
+		modes = append(modes, struct {
+			name string
+			run  func(s int) error
+		}{"dyn-replay", func(s int) error { return dyn.Run(eng, roots[s]) }})
 	}
 	for _, mode := range modes {
 		wall, allocs, bytes, err := drive(mode.run, submitters, repeats)

@@ -4,6 +4,7 @@
 //
 //	nddot -algo TRS -model ND -n 8 -base 4           # spawn tree + arrows
 //	nddot -algo LCS -model ND -n 8 -base 2 -leafdag  # strand-level DAG
+//	nddot -algo FW-1D -n 8 -base 4 -wake             # collapsed wake graph
 //
 // Algorithms: MM, TRS, Cholesky, LU, FW-1D, LCS.
 package main
@@ -25,6 +26,7 @@ func main() {
 		n       = flag.Int("n", 8, "problem size (power of two)")
 		base    = flag.Int("base", 4, "base-case size (power of two)")
 		leafDAG = flag.Bool("leafdag", false, "emit the strand-level algorithm DAG instead of the spawn tree")
+		wake    = flag.Bool("wake", false, "emit the collapsed wake graph (counters and weighted wake edges) the trackers run")
 	)
 	flag.Parse()
 
@@ -47,9 +49,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nddot:", err)
 		os.Exit(1)
 	}
-	if *leafDAG {
+	switch {
+	case *wake:
+		err = core.WriteWakeGraphDOT(os.Stdout, g)
+	case *leafDAG:
 		err = core.WriteLeafDAGDOT(os.Stdout, g)
-	} else {
+	default:
 		err = core.WriteSpawnTreeDOT(os.Stdout, g.P, g)
 	}
 	if err != nil {

@@ -1,13 +1,16 @@
 // Cross-runtime differential tests: every algorithm builder executed via
 // the serial elision, the adversarial serial orders (random topological,
 // reverse greedy), the mutex-serialized baseline, the lock-free work
-// stealer and the long-lived engine must produce bit-identical output
-// matrices. All runtimes propagate readiness through the strand-level
-// wake graph (serial drivers via Tracker, parallel ones via
-// ConcurrentTracker), all execute the same strand closures, and the deps
-// validator guarantees conflicting accesses are ordered by the DAG, so
-// any divergence — down to the last mantissa bit — is a scheduler or
-// wake-graph-collapse bug. Run under -race in CI.
+// stealer, the long-lived engine and the online dynamic runtime must
+// produce bit-identical output matrices. The compiled runtimes propagate
+// readiness through the strand-level wake graph (serial drivers via
+// Tracker, parallel ones via ConcurrentTracker); the dynamic runtime
+// rebuilds the dependency structure online from Spawn/Future gating and
+// learns the DAG one task at a time. All seven execute the same strand
+// closures, and the deps validator guarantees conflicting accesses are
+// ordered by the DAG, so any divergence — down to the last mantissa bit —
+// is a scheduler, wake-graph-collapse or suspension bug. Run under -race
+// in CI.
 package ndflow_test
 
 import (
@@ -25,6 +28,7 @@ import (
 	"github.com/ndflow/ndflow/internal/algos/stencil"
 	"github.com/ndflow/ndflow/internal/algos/trs"
 	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/dyn"
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/matrix"
 )
@@ -218,6 +222,11 @@ func TestRuntimesBitIdentical(t *testing.T) {
 			}
 			return r.Wait()
 		}},
+		// The online runtime: the same strand closures driven through
+		// Spawn/SpawnAfter/Future gating (dyn.Replay), with the DAG
+		// revealed to the scheduler one task at a time. Shares the
+		// engine's workers and deques with the compiled submissions.
+		{"dyn", func(g *core.Graph) error { return dyn.RunGraph(eng, g) }},
 	}
 	for _, c := range diffCases() {
 		for _, model := range c.models {

@@ -1,0 +1,131 @@
+// Benchmarks for the online dynamic runtime, head-to-head against the
+// compiled engine on the same DAG shape. Run with
+//
+//	go test -bench 'Dyn' -benchmem
+//
+// BenchmarkDynVsCompiled is the acceptance gauge for the dynamic hot
+// path: the same nil-body FW-256/4 shape executed by the compiled engine
+// (readiness from the precompiled wake graph, zero allocation per run)
+// and by the dynamic runtime (DAG rebuilt online from Spawn/SpawnAfter/
+// Put on every single run — spawning, future registration and wakeups all
+// inside the measured loop). The dynamic per-strand cost should stay
+// within ~3× of the compiled engine's, with allocations per task
+// amortized O(1) by the pooled continuation frames.
+package ndflow_test
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/dyn"
+	"github.com/ndflow/ndflow/internal/exec"
+)
+
+func BenchmarkDynVsCompiled(b *testing.B) {
+	g := fwSchedGraph(b, 256, 4)
+	eg := g.Exec()
+	strands := float64(eg.NumStrands())
+
+	b.Run("compiled", func(b *testing.B) {
+		e := exec.NewEngine(0)
+		defer e.Close()
+		for i := 0; i < 3; i++ { // warm: program cache, instance pool, deques
+			if err := e.Run(g.P); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := e.Run(g.P); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+	})
+
+	b.Run("dyn", func(b *testing.B) {
+		e := exec.NewEngine(0)
+		defer e.Close()
+		deps := dyn.StrandDeps(eg) // amortized like Rewrite+Compile is for the engine
+		root := dyn.Replay(eg, deps)
+		for i := 0; i < 3; i++ { // warm: frame, run and waiter pools
+			if err := dyn.Run(e, root); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dyn.Run(e, root); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+	})
+}
+
+// BenchmarkDynFib measures the recursive spawn/Get/Put path — every task
+// body suspends on real unresolved futures, so this is the continuation
+// parking and worker-identity handoff cost, not the gated fast path.
+func BenchmarkDynFib(b *testing.B) {
+	const n = 24
+	e := exec.NewEngine(0)
+	defer e.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells := make([]dyn.Future, n+1)
+		err := dyn.Run(e, func(c *dyn.Context) {
+			for k := n; k >= 2; k-- { // reverse order: Gets find unresolved futures
+				k := k
+				c.Spawn(func(c *dyn.Context) {
+					a := cells[k-1].Get(c).(int64)
+					bb := cells[k-2].Get(c).(int64)
+					cells[k].Put(c, a+bb)
+				})
+			}
+			cells[0].Put(c, int64(0))
+			cells[1].Put(c, int64(1))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, _ := cells[n].TryGet(); v.(int64) != 46368 {
+			b.Fatalf("fib(%d) = %v", n, v)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n-1)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkDynSpawnJoin isolates the pure fork–join path (no futures): a
+// binary spawn tree of depth 10, per-task cost of frame allocation, deque
+// traffic and join-counter cascades.
+func BenchmarkDynSpawnJoin(b *testing.B) {
+	const depth = 10
+	e := exec.NewEngine(0)
+	defer e.Close()
+	var grow func(d int) dyn.Task
+	grow = func(d int) dyn.Task {
+		return func(c *dyn.Context) {
+			if d == 0 {
+				return
+			}
+			c.Spawn(grow(d - 1))
+			c.Spawn(grow(d - 1))
+		}
+	}
+	root := grow(depth)
+	tasks := float64(int(1)<<(depth+1) - 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := dyn.Run(e, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(tasks*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}

@@ -1,0 +1,87 @@
+// The fib example is a computation the compiled pipeline cannot express:
+// recursion whose spawn tree depends on the input, with single-assignment
+// futures memoizing subproblems. Each distinct subproblem is claimed
+// exactly once; its solver task spawns the solvers of the subproblems it
+// needs (discovering the DAG online) and suspends on their futures — a
+// chain of real continuation parks n levels deep — before resolving its
+// own. The scheduler never sees the DAG: it unfolds it.
+//
+// Run with: go run ./examples/fib
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	ndflow "github.com/ndflow/ndflow"
+)
+
+// memo maps each subproblem to its future, claiming each exactly once.
+// The map is the only lock in the program — the dataflow itself is all
+// futures and counters.
+type memo struct {
+	mu    sync.Mutex
+	cells map[int]*ndflow.Future
+	tasks atomic.Int64
+}
+
+// solve returns n's future, spawning its solver task on first claim.
+func (m *memo) solve(c *ndflow.TaskContext, n int) *ndflow.Future {
+	m.mu.Lock()
+	f := m.cells[n]
+	claimed := f == nil
+	if claimed {
+		f = ndflow.NewFuture()
+		m.cells[n] = f
+	}
+	m.mu.Unlock()
+	if claimed {
+		m.tasks.Add(1)
+		c.Spawn(func(c *ndflow.TaskContext) {
+			if n < 2 {
+				f.Put(c, int64(n))
+				return
+			}
+			a := m.solve(c, n-1).Get(c).(int64) // suspends until resolved
+			b := m.solve(c, n-2).Get(c).(int64)
+			f.Put(c, a+b)
+		})
+	}
+	return f
+}
+
+func run(w io.Writer) error {
+	const n = 40
+	m := &memo{cells: make(map[int]*ndflow.Future)}
+	var result int64
+	err := ndflow.RunDynamic(nil, func(c *ndflow.TaskContext) {
+		result = m.solve(c, n).Get(c).(int64)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fib(%d) = %d\n", n, result)
+	fmt.Fprintf(w, "memoization: %d solver tasks for %d subproblems (naive recursion spawns %d)\n",
+		m.tasks.Load(), n+1, naiveCalls(n))
+	return nil
+}
+
+// naiveCalls is the call-tree size of unmemoized fib — 2·fib(n+1) − 1,
+// computed iteratively — for the comparison line in the output.
+func naiveCalls(n int) int64 {
+	a, b := int64(0), int64(1) // fib(0), fib(1)
+	for i := 0; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return 2*a - 1
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fib:", err)
+		os.Exit(1)
+	}
+}

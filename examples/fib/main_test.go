@@ -1,0 +1,12 @@
+package main
+
+import "os"
+
+func Example() {
+	if err := run(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// fib(40) = 102334155
+	// memoization: 41 solver tasks for 41 subproblems (naive recursion spawns 331160281)
+}

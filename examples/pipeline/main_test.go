@@ -1,0 +1,18 @@
+package main
+
+import "os"
+
+func Example() {
+	if err := run(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// item 1: squared= 1  running sum=  1
+	// item 2: squared= 4  running sum=  5
+	// item 3: squared= 9  running sum= 14
+	// item 4: squared=16  running sum= 30
+	// item 5: squared=25  running sum= 55
+	// item 6: squared=36  running sum= 91
+	// item 7: squared=49  running sum=140
+	// item 8: squared=64  running sum=204
+}

@@ -36,6 +36,53 @@ func WriteSpawnTreeDOT(w io.Writer, p *Program, g *Graph) error {
 	return err
 }
 
+// WriteWakeGraphDOT renders the collapsed strand-level wake graph: one
+// ellipse per strand gate (labelled with the strand and its per-run need,
+// doubled borders for initially-ready strands) and one box per relay
+// counter the collapse kept (the high fan-in × fan-out joins), with every
+// weighted wake edge labelled by its decrement weight. This is the
+// structure the trackers actually run — counters and atomic decrements,
+// nothing else — so the collapse is inspectable rather than only asserted
+// by tests.
+func WriteWakeGraphDOT(w io.Writer, g *Graph) error {
+	wg := g.Exec().Wake()
+	if _, err := fmt.Fprintln(w, "digraph wakegraph {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintf(w, "  label=\"wake graph: %d strand gates + %d relays, %d weighted edges (event cascade: %d decrements)\";\n",
+		wg.NumStrands(), wg.NumRelays(), wg.NumWakeEdges(), wg.EventDecrements())
+	initial := make(map[int32]bool, len(wg.InitialReady()))
+	for _, s := range wg.InitialReady() {
+		initial[s] = true
+	}
+	for s := 0; s < wg.NumStrands(); s++ {
+		peripheries := 1
+		if initial[int32(s)] {
+			peripheries = 2
+		}
+		label := fmt.Sprintf("%s\\nneed=%d", g.P.Leaves[s].Label, wg.Need(int32(s)))
+		fmt.Fprintf(w, "  c%d [shape=ellipse,peripheries=%d,label=%q];\n",
+			s, peripheries, label)
+	}
+	for r := 0; r < wg.NumRelays(); r++ {
+		t := int32(wg.NumStrands() + r)
+		fmt.Fprintf(w, "  c%d [shape=box,label=%q];\n", t, fmt.Sprintf("relay %d\\nneed=%d", r, wg.Need(t)))
+	}
+	for i := 0; i < wg.NumCounters(); i++ {
+		targets, weights := wg.Row(int32(i))
+		for k, t := range targets {
+			attr := ""
+			if weights[k] != 1 {
+				attr = fmt.Sprintf(" [label=\"%d\"]", weights[k])
+			}
+			fmt.Fprintf(w, "  c%d -> c%d%s;\n", i, t, attr)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
 // WriteLeafDAGDOT writes the leaf-level algorithm DAG: one vertex per
 // strand, and an edge u → v whenever an arrow orders (an ancestor of) u
 // before (an ancestor of) v directly. Transitive structure induced by

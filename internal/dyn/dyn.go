@@ -1,0 +1,517 @@
+// Package dyn is the online nested-dataflow runtime: the dynamic
+// counterpart of the compiled pipeline, for computations whose DAG is
+// discovered during execution instead of being rewritten and compiled up
+// front. It implements the source paper's programming model as it is
+// actually stated — strands spawn, sync and touch futures as the
+// computation unfolds, and the scheduler learns the DAG one task at a
+// time — which is what the compiled ExecGraph path cannot express:
+// recursion whose shape depends on input, pipelines over request streams,
+// and any workload where dependencies are data.
+//
+// The model is nested fork–join (Context.Spawn / Context.Sync, with an
+// implicit sync when a task body returns) extended with single-assignment
+// Futures (Put / Get) carrying dataflow edges that cut across the spawn
+// tree — the dynamic analogues of the paper's fire construct.
+//
+// Scheduling rides the existing execution engine: every dynamic task is a
+// packed task word on the engine's Chase–Lev deques, so dynamic tasks
+// interleave with compiled-graph runs in one shared worker pool. Task
+// bodies run inline on worker goroutines — a task that never waits costs
+// a deque push/pop, a frame from a pool and a few counter updates, with
+// no goroutine switch at all. A strand that must wait (Get on an
+// unresolved future, Sync with stolen children) suspends as a
+// continuation: its frame parks on the future's waiter list guarded by
+// one atomic counter — the dynamic analogue of the wake graph's counters
+// — and its goroutine hands the worker identity to a spare and parks.
+// Resolving the counter re-enqueues the frame's task word; the worker
+// that pops it donates its identity back to the parked goroutine and
+// retires, so suspended continuations never shrink the pool's
+// parallelism. Frames, waiter nodes and run state are pooled, so the
+// per-task allocation cost is amortized O(1).
+//
+// A dynamic program that waits on a future nobody resolves deadlocks like
+// any Go program that blocks forever — the runtime does not detect it. A
+// panic in a task body crashes the process, matching the compiled
+// runtimes' behaviour for panicking strand closures.
+package dyn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/exec"
+)
+
+// Task is the body of a dynamic strand. The Context is valid only for the
+// duration of the call and only on the calling goroutine.
+type Task func(*Context)
+
+// Frame states. A frame's word is published at most once per state
+// transition (spawn or wake), so Exec observes exactly the state the
+// publisher set. Two values are load-bearing reads: stateParked (a
+// worker popping the frame's word donates its identity to the parked
+// goroutine instead of running the body) and stateFinal (a child
+// draining its parent's kids counter completes the parent inline
+// instead of waking a parked Sync — see completeFrame). Transitions
+// into both are stored before the guard drop that could publish them,
+// so the never-read intermediate states (stateNew as the zero value,
+// stateRunning) need no store on the non-suspending fast path.
+const (
+	stateNew     int32 = iota // spawned; body not started (or gated by SpawnAfter)
+	stateRunning              // set after a suspension resumes, for clarity in dumps
+	stateParked               // goroutine suspended mid-body; wake donates a slot
+	stateFinal                // body returned; completes when live children drain
+)
+
+// frame is one dynamic strand's continuation state. Frames belong to
+// their run's frame table for the run's whole pooled lifetime — a freed
+// frame parks as a free index and is reused in place, so the steady state
+// allocates no frame, node or channel memory at all. Every counter is
+// drained back to zero by the decrements that fire it (see
+// core.DynTracker), so reuse needs no counter reset.
+type frame struct {
+	// The counters lead the struct so the scheduling-hot state (armed,
+	// decremented and checked on every spawn, wake and completion) shares
+	// the frame's first cache line with the identity fields.
+
+	state atomic.Int32
+	// kids counts live children plus one guard held while the body can
+	// still spawn (dropped at Sync and again when the body returns). The
+	// decrement that reaches zero owns the frame's next step: resuming a
+	// parked Sync or completing a finished frame.
+	kids atomic.Int32
+	// wait is the suspension counter — "one atomic counter per suspended
+	// strand": unresolved futures plus one guard. Armed immediately
+	// before use (Get, SpawnAfter) and fully drained by the decrements
+	// that fire it; the decrement that reaches zero publishes the frame's
+	// task word.
+	wait atomic.Int32
+	idx  int32 // index in the run's frame table; task words carry it
+
+	x      int64 // SpawnFor argument
+	run    *run
+	parent *frame
+	fn     Task
+	xfn    func(*Context, int64) // SpawnFor body; fn is nil when set
+	// w is the Worker of the goroutine currently (or most recently)
+	// executing the body. Only that goroutine uses it; across a
+	// suspension the goroutine keeps its Worker and rebinds the slot a
+	// donor passes through sem.
+	w   *exec.Worker
+	ctx Context  // points back at this frame; handed to the body
+	sem chan int // buffered(1): donated worker slot for the parked goroutine
+
+	// wnb and wn are the frame's waiter-node slab: one node per future
+	// the frame is registered on. A frame arms at most one wait phase at
+	// a time and a phase's nodes are all consumed before its counter can
+	// drain, so the slab is reused phase after phase with no
+	// synchronization beyond the wait counter itself. Phases waiting on
+	// at most two futures — Get, and the typical SpawnAfter/SpawnFor
+	// gating — use the inline array; wider phases spill to wn.
+	wnb [2]waiter
+	wn  []waiter
+}
+
+// nodes returns k registration nodes for the next wait phase, growing the
+// spill slab when a phase needs more than any earlier one.
+func (fr *frame) nodes(k int) []waiter {
+	if k <= len(fr.wnb) {
+		return fr.wnb[:k]
+	}
+	if cap(fr.wn) < k {
+		fr.wn = make([]waiter, k)
+	}
+	return fr.wn[:k]
+}
+
+// Context is the capability handed to every task body: the handle for
+// spawning children, syncing on them, and resolving futures from task
+// context. It must not be retained past the body's return or used from
+// goroutines the runtime did not call the body on.
+type Context struct {
+	fr *frame
+}
+
+// run is one in-flight dynamic computation: the engine-facing DynRun. It
+// owns the frame table (task words carry indices, not pointers, so the
+// deques never hold the only reference to a frame) and the run-level
+// DynTracker whose pending count is the termination latch.
+type run struct {
+	eng  *exec.Engine
+	r    *exec.Run
+	slot int32
+	root *frame
+	trk  core.DynTracker
+
+	// tab is the frame table: a copy-on-write snapshot indexed by the
+	// frame half of a task word. Readers load it lock-free after popping
+	// a word; the deque's atomics order the slot write (done under mu
+	// before the word is published) before the read.
+	tab  atomic.Pointer[[]*frame]
+	mu   sync.Mutex // guards free, table growth and shard resizing
+	free []int32    // global free-index overflow; shards refill from here
+
+	// shards are per-worker-slot free-index caches. A shard is touched
+	// only by the goroutine currently owning that engine slot (worker
+	// identity is single-owner, and every transfer — donation, spare
+	// wake, replacement spawn, run recycling via Wait — carries a
+	// happens-before edge), so shard pushes and pops need no atomics;
+	// the mutex is paid once per frameBatch moves.
+	shards []frameShard
+}
+
+// frameShard is one slot's free-index cache.
+type frameShard struct {
+	free []int32
+}
+
+// frameBatch is the refill/spill granularity between a shard and the
+// global free list: one mutex acquisition amortizes over this many
+// frame allocations or frees.
+const frameBatch = 32
+
+var runPool sync.Pool
+
+func newRun(e *exec.Engine) *run {
+	r, ok := runPool.Get().(*run)
+	if !ok {
+		r = &run{}
+		empty := make([]*frame, 0, 8)
+		r.tab.Store(&empty)
+	}
+	r.eng = e
+	if len(r.shards) != e.Workers() {
+		// First use, or a pooled run moving to an engine with a different
+		// worker count: collect every cached index back into the global
+		// list and resize the shard set.
+		for i := range r.shards {
+			r.free = append(r.free, r.shards[i].free...)
+			r.shards[i].free = nil
+		}
+		r.shards = make([]frameShard, e.Workers())
+	}
+	return r
+}
+
+// Retire implements exec.DynRun: return the completed run's state to the
+// pool, rewinding the tracker by generation (O(1)). The engine calls it
+// from Run.Wait once it holds no reference to the run, so every
+// submission path — Run and Submit alike — recycles frames, tables and
+// tracker storage.
+func (r *run) Retire() {
+	r.trk.Reset()
+	r.eng, r.r, r.root = nil, nil, nil
+	runPool.Put(r)
+}
+
+// newFrame takes a frame for fn under parent from the run's table: a free
+// index reuses its resident frame in place, growing the copy-on-write
+// table only when every frame is live. With a worker identity (w non-nil,
+// the spawner's) the index comes from that slot's shard — no lock, no
+// atomics — refilled from the global list one frameBatch at a time. Field
+// initialization happens after the index operation, before the frame's
+// word is published (the deque's atomics order it for the worker that
+// pops the word).
+//
+// No state store is needed: a frame is never retired as stateParked
+// (every park is matched by a resume that overwrites it), and stateParked
+// is the only value anyone reads.
+func (r *run) newFrame(w *exec.Worker, parent *frame, fn Task) *frame {
+	fr := r.takeFrame(w)
+	fr.fn = fn
+	fr.parent = parent
+	r.trk.Spawned()
+	return fr
+}
+
+// takeFrame performs newFrame's index operation alone, leaving the
+// spawn-side counter charges (parent join guard aside, the run's pending
+// count) to the caller — the hook bulk spawners like Replay use to charge
+// a whole batch of children with one atomic add each.
+func (r *run) takeFrame(w *exec.Worker) *frame {
+	if w != nil {
+		sh := &r.shards[w.Self()]
+		if n := len(sh.free); n > 0 {
+			fr := (*r.tab.Load())[sh.free[n-1]]
+			sh.free = sh.free[:n-1]
+			return fr
+		}
+	}
+	return r.newFrameSlow(w)
+}
+
+// newFrameSlow refills the caller's shard from the global free list (one
+// batch per lock) or grows the table, and returns one frame.
+func (r *run) newFrameSlow(w *exec.Worker) *frame {
+	r.mu.Lock()
+	if n := len(r.free); n > 0 {
+		take := 1
+		if w != nil {
+			if take = frameBatch; take > n {
+				take = n
+			}
+		}
+		moved := r.free[n-take:]
+		tab := *r.tab.Load()
+		fr := tab[moved[take-1]]
+		if w != nil && take > 1 {
+			sh := &r.shards[w.Self()]
+			sh.free = append(sh.free, moved[:take-1]...)
+		}
+		r.free = r.free[:n-take]
+		r.mu.Unlock()
+		return fr
+	}
+	fr := &frame{sem: make(chan int, 1), run: r}
+	fr.ctx.fr = fr
+	fr.state.Store(stateNew) // the zero value; spelled out once for the record
+	fr.kids.Store(1)         // the guard; free frames always hold it (see bodyDone)
+	old := *r.tab.Load()
+	if len(old) < cap(old) {
+		// Readers hold older, shorter snapshots and never index past
+		// their own length, so extending into spare capacity is safe.
+		next := old[:len(old)+1]
+		next[len(old)] = fr
+		fr.idx = int32(len(old))
+		r.tab.Store(&next)
+	} else {
+		next := make([]*frame, len(old)+1, 2*len(old)+8)
+		copy(next, old)
+		next[len(old)] = fr
+		fr.idx = int32(len(old))
+		r.tab.Store(&next)
+	}
+	r.mu.Unlock()
+	return fr
+}
+
+// freeFrame retires a completed frame: its index returns to the freeing
+// worker's shard (spilling half to the global list when the shard is
+// full); the frame itself stays resident in the table for reuse. No task
+// word for the frame exists at this point (its last word was consumed by
+// the segment that completed it), so the index cannot be observed stale.
+func (r *run) freeFrame(w *exec.Worker, fr *frame) {
+	fr.fn, fr.xfn, fr.parent, fr.w = nil, nil, nil, nil
+	if w == nil {
+		r.mu.Lock()
+		r.free = append(r.free, fr.idx)
+		r.mu.Unlock()
+		return
+	}
+	sh := &r.shards[w.Self()]
+	sh.free = append(sh.free, fr.idx)
+	if len(sh.free) >= 2*frameBatch {
+		spill := sh.free[frameBatch:]
+		r.mu.Lock()
+		r.free = append(r.free, spill...)
+		r.mu.Unlock()
+		sh.free = sh.free[:frameBatch]
+	}
+}
+
+// word returns the packed task word publishing frame fr.
+func (r *run) word(fr *frame) int64 { return exec.PackDynTask(r.slot, fr.idx) }
+
+// Bind implements exec.DynRun: record the engine handle and slot, hand
+// back the root frame for injection. Called under the engine mutex.
+func (r *run) Bind(er *exec.Run, slot int32) int32 {
+	r.r = er
+	r.slot = slot
+	return r.root.idx
+}
+
+// Exec implements exec.DynRun: run or resume frame id on worker w.
+func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
+	fr := (*r.tab.Load())[id]
+	if fr.state.Load() == stateParked {
+		// A resumed continuation: donate the worker identity to the
+		// parked goroutine (the send cannot block — sem is buffered and
+		// holds at most one donation per suspension) and retire.
+		fr.sem <- w.Self()
+		return false, true
+	}
+	fr.w = w
+	if fr.fn != nil {
+		fr.fn(&fr.ctx)
+	} else {
+		fr.xfn(&fr.ctx, fr.x)
+	}
+	return r.bodyDone(fr), false
+}
+
+// bodyDone performs the implicit sync at body return: the frame completes
+// once its live children drain. The guard drop decides ownership — if a
+// child is still live, the last child to finish completes the frame.
+//
+// Free frames always hold their guard (kids == 1), so the common leaf
+// case — no live child at body return — is a single atomic load: with the
+// guard as the only count no concurrent mutator exists, and the frame
+// keeps its guard armed for its next life. Frames completed through the
+// drop path re-arm the guard before being freed.
+func (r *run) bodyDone(fr *frame) (rootDone bool) {
+	if fr.kids.Load() == 1 {
+		return r.completeFrame(fr.w, fr)
+	}
+	fr.state.Store(stateFinal)
+	if fr.kids.Add(-1) != 0 {
+		return false
+	}
+	fr.kids.Store(1) // re-arm the guard for the frame's next life
+	return r.completeFrame(fr.w, fr)
+}
+
+// completeFrame retires fr and cascades: the completion may be the last
+// child a finished or syncing ancestor was waiting for. Runs as a loop on
+// the completing worker, so a deep chain of final syncs costs no stack
+// and no extra task words. Returns true when the cascade completed the
+// root — the whole run is over.
+func (r *run) completeFrame(w *exec.Worker, fr *frame) bool {
+	for {
+		p := fr.parent
+		done := r.trk.Completed()
+		r.freeFrame(w, fr)
+		if p == nil {
+			if !done {
+				panic("dyn: root frame completed with live frames pending")
+			}
+			return true
+		}
+		if done {
+			panic("dyn: pending frames drained before the root completed")
+		}
+		if p.kids.Add(-1) != 0 {
+			return false
+		}
+		if p.state.Load() == stateFinal {
+			p.kids.Store(1) // re-arm the guard for the frame's next life
+			fr = p
+			continue
+		}
+		// Parent parked at an explicit Sync: wake it. The donation
+		// machinery hands it a worker identity when the word is popped.
+		w.PushChained(r.word(p))
+		return false
+	}
+}
+
+// park suspends the calling strand after its wake counter was armed and
+// published: the goroutine hands its worker identity to a spare and waits
+// for a donor to pass one back. Must be called with fr.state already
+// stateParked and only when the armed counter's guard drop confirmed the
+// wait is real.
+func (fr *frame) park() {
+	fr.w.Detach()
+	fr.w.Attach(<-fr.sem)
+	fr.state.Store(stateRunning)
+}
+
+// Spawn schedules fn as a child task of the calling strand. The child is
+// immediately stealable; the parent keeps running. Children are joined by
+// Sync or by the implicit sync when the parent's body returns.
+func (c *Context) Spawn(fn Task) {
+	fr := c.fr
+	child := fr.run.newFrame(fr.w, fr, fn)
+	fr.kids.Add(1)
+	fr.w.Push(fr.run.word(child))
+}
+
+// SpawnAfter schedules fn as a child task gated on the given futures: the
+// child's frame parks as a continuation with one atomic counter holding
+// the number of unresolved futures, and the Put that resolves the last
+// one publishes the child onto the resolver's deque. A child gated only
+// on already-resolved futures is published immediately. This is the
+// allocation-light way to express dataflow edges — the child suspends
+// before it ever starts, so no goroutine parks. The deps slice is not
+// retained.
+func (c *Context) SpawnAfter(fn Task, deps ...*Future) {
+	fr := c.fr
+	child := fr.run.newFrame(fr.w, fr, fn)
+	fr.kids.Add(1)
+	c.gate(child, deps)
+}
+
+// SpawnFor schedules fn(x) as a child task gated on the given futures:
+// the indexed form of SpawnAfter for data-parallel dynamic loops. One
+// shared body closure serves every iteration — the per-task argument
+// travels in the continuation frame, not in a fresh closure — and the
+// deps slice is not retained, so callers can reuse one scratch slice
+// across a whole loop. Steady-state cost per task: no allocation at all.
+func (c *Context) SpawnFor(fn func(*Context, int64), x int64, deps ...*Future) {
+	fr := c.fr
+	child := fr.run.newFrame(fr.w, fr, nil)
+	child.xfn, child.x = fn, x
+	fr.kids.Add(1)
+	c.gate(child, deps)
+}
+
+// gate publishes a freshly spawned child: immediately when nothing gates
+// it, otherwise parked behind its wait counter armed with the unresolved
+// dependency count (plus the guard this call drops).
+func (c *Context) gate(child *frame, deps []*Future) {
+	w := c.fr.w
+	r := child.run
+	if len(deps) == 0 {
+		w.Push(r.word(child))
+		return
+	}
+	child.wait.Store(int32(len(deps)) + 1)
+	settled := int32(1) // the guard
+	wn := child.nodes(len(deps))
+	for i, f := range deps {
+		n := &wn[i]
+		n.fr = child
+		if !f.addWaiter(n) {
+			settled++ // already resolved; its decrement will never come
+		}
+	}
+	if child.wait.Add(-settled) == 0 {
+		w.Push(r.word(child))
+	}
+}
+
+// Sync blocks the calling strand until every child it has spawned so far
+// has completed (including the children's own subtrees). If children are
+// still live, the strand suspends and its worker moves on to other work;
+// the last child to finish re-enqueues the continuation.
+func (c *Context) Sync() {
+	fr := c.fr
+	fr.state.Store(stateParked)
+	if fr.kids.Add(-1) != 0 {
+		fr.park()
+	} else {
+		fr.state.Store(stateRunning)
+	}
+	fr.kids.Store(1) // re-arm the guard for the next spawn phase
+}
+
+// Submit enqueues a dynamic run executing root on the engine and returns
+// its handle; Wait blocks until the root task and its entire subtree have
+// completed. Dynamic tasks share the engine's workers and deques with
+// compiled-graph submissions.
+func Submit(e *exec.Engine, root Task) (*exec.Run, error) {
+	r := newRun(e)
+	r.root = r.newFrame(nil, nil, root)
+	er, err := e.SubmitDyn(r)
+	if err != nil {
+		// The engine rejected the run (closed): unwind the bookkeeping so
+		// the pooled state stays consistent.
+		r.trk.Completed()
+		r.freeFrame(nil, r.root)
+		r.Retire()
+		return nil, err
+	}
+	return er, nil
+}
+
+// Run executes root to completion on the engine: Submit plus Wait. Run
+// state is pooled and rewound by generation (Wait retires it through
+// exec.DynRun.Retire), so steady-state dynamic runs — through Run and
+// Submit alike — reuse pooled frames, tables and tracker storage.
+func Run(e *exec.Engine, root Task) error {
+	er, err := Submit(e, root)
+	if err != nil {
+		return err
+	}
+	return er.Wait()
+}

@@ -1,0 +1,448 @@
+package dyn
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/exec"
+)
+
+// diamondGraph compiles a tiny static program (a ; (b ‖ c) ; d) for tests
+// that mix compiled and dynamic submissions.
+func diamondGraph(t *testing.T) *core.Graph {
+	t.Helper()
+	mk := func(name string) *core.Node { return core.NewStrand(name, 1, nil, nil, nil) }
+	root := core.NewSeq(mk("a"), core.NewPar(mk("b"), mk("c")), mk("d"))
+	p, err := core.NewProgram(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runOn executes root on a fresh engine with the given worker count and
+// fails the test on error.
+func runOn(t *testing.T, workers int, root Task) {
+	t.Helper()
+	e := exec.NewEngine(workers)
+	defer e.Close()
+	if err := Run(e, root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootOnly(t *testing.T) {
+	var ran atomic.Int32
+	runOn(t, 2, func(c *Context) { ran.Add(1) })
+	if ran.Load() != 1 {
+		t.Fatalf("root ran %d times, want 1", ran.Load())
+	}
+}
+
+func TestSpawnImplicitSync(t *testing.T) {
+	// The run must not complete until every spawned child ran, even
+	// though the root never calls Sync: returning from a body is an
+	// implicit sync over the whole subtree.
+	const n = 100
+	var ran atomic.Int32
+	runOn(t, 4, func(c *Context) {
+		for i := 0; i < n; i++ {
+			c.Spawn(func(c *Context) { ran.Add(1) })
+		}
+	})
+	if ran.Load() != n {
+		t.Fatalf("%d children ran, want %d", ran.Load(), n)
+	}
+}
+
+func TestNestedSpawnTree(t *testing.T) {
+	// A recursive tree: every node spawns two children down to depth 8.
+	var ran atomic.Int64
+	var grow func(depth int) Task
+	grow = func(depth int) Task {
+		return func(c *Context) {
+			ran.Add(1)
+			if depth == 0 {
+				return
+			}
+			c.Spawn(grow(depth - 1))
+			c.Spawn(grow(depth - 1))
+		}
+	}
+	runOn(t, 4, grow(8))
+	if want := int64(1<<9 - 1); ran.Load() != want {
+		t.Fatalf("ran %d nodes, want %d", ran.Load(), want)
+	}
+}
+
+func TestSyncOrdersChildren(t *testing.T) {
+	// After Sync, everything the children (transitively) did must be
+	// visible to the parent — plain, unsynchronized writes included.
+	vals := make([]int, 64)
+	runOn(t, 4, func(c *Context) {
+		for i := range vals {
+			i := i
+			c.Spawn(func(c *Context) {
+				c.Spawn(func(c *Context) { vals[i] = i + 1 })
+			})
+		}
+		c.Sync()
+		for i, v := range vals {
+			if v != i+1 {
+				panic(fmt.Sprintf("child %d effect missing after Sync: %d", i, v))
+			}
+		}
+	})
+}
+
+func TestSyncTwicePhases(t *testing.T) {
+	// Sync re-arms: a strand can run several spawn/sync phases, and each
+	// Sync joins only what was spawned before it... plus nothing breaks
+	// when the second phase spawns again.
+	var phase1, phase2 atomic.Int32
+	runOn(t, 4, func(c *Context) {
+		for i := 0; i < 20; i++ {
+			c.Spawn(func(c *Context) { phase1.Add(1) })
+		}
+		c.Sync()
+		if phase1.Load() != 20 {
+			panic("phase 1 children not all joined by first Sync")
+		}
+		for i := 0; i < 30; i++ {
+			c.Spawn(func(c *Context) { phase2.Add(1) })
+		}
+		c.Sync()
+		if phase2.Load() != 30 {
+			panic("phase 2 children not all joined by second Sync")
+		}
+	})
+}
+
+func TestSyncNoChildren(t *testing.T) {
+	runOn(t, 2, func(c *Context) {
+		c.Sync() // must not hang or mis-arm the guard
+		c.Spawn(func(c *Context) {})
+		c.Sync()
+	})
+}
+
+func TestFutureGetFastPath(t *testing.T) {
+	f := NewFuture()
+	runOn(t, 2, func(c *Context) {
+		f.Put(c, 42)
+		if v := f.Get(c); v != 42 {
+			panic(fmt.Sprintf("Get = %v, want 42", v))
+		}
+	})
+}
+
+func TestFutureSuspendsAndResumes(t *testing.T) {
+	// The getter must be parked when it runs first (the put child is
+	// gated on a second future resolved by the getter after its Get —
+	// impossible without a real suspension).
+	var order []string
+	gate := NewFuture()
+	val := NewFuture()
+	done := NewFuture()
+	runOn(t, 2, func(c *Context) {
+		c.Spawn(func(c *Context) {
+			gate.Get(c)
+			order = append(order, "put")
+			val.Put(c, "x")
+		})
+		c.Spawn(func(c *Context) {
+			gate.Put(c, nil) // lets the other child run only after this strand started
+			v := val.Get(c)  // suspends: val cannot be resolved yet
+			order = append(order, "got "+v.(string))
+			done.Put(c, nil)
+		})
+		done.Get(c)
+		order = append(order, "root")
+	})
+	want := []string{"put", "got x", "root"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestManyGettersOneFuture(t *testing.T) {
+	// A wide waiter list: many strands suspend on one future; one Put
+	// wakes them all, each exactly once.
+	const n = 64
+	f := NewFuture()
+	var sum atomic.Int64
+	runOn(t, 4, func(c *Context) {
+		for i := 0; i < n; i++ {
+			i := i
+			c.Spawn(func(c *Context) {
+				sum.Add(int64(f.Get(c).(int)) + int64(i))
+			})
+		}
+		c.Spawn(func(c *Context) { f.Put(c, 1000) })
+	})
+	if want := int64(n*1000 + n*(n-1)/2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestSpawnAfterChains(t *testing.T) {
+	// A dependency chain a → b → c built purely from SpawnAfter gating:
+	// each stage appends after getting its predecessor's value.
+	var got []int
+	runOn(t, 4, func(c *Context) {
+		f := make([]*Future, 5)
+		for i := range f {
+			f[i] = NewFuture()
+		}
+		for i := len(f) - 1; i >= 1; i-- { // register consumers before producers run
+			i := i
+			c.SpawnAfter(func(c *Context) {
+				got = append(got, f[i-1].Get(c).(int))
+				f[i].Put(c, i)
+			}, f[i-1])
+		}
+		c.SpawnAfter(func(c *Context) { f[0].Put(c, 0) })
+	})
+	if fmt.Sprint(got) != fmt.Sprint([]int{0, 1, 2, 3}) {
+		t.Fatalf("chain order = %v", got)
+	}
+}
+
+func TestSpawnAfterResolvedFutures(t *testing.T) {
+	// Gating on futures that are all already resolved publishes the
+	// child immediately (the settled-counter path).
+	a, b := NewFuture(), NewFuture()
+	var ran atomic.Int32
+	runOn(t, 2, func(c *Context) {
+		a.Put(c, nil)
+		b.Put(c, nil)
+		c.SpawnAfter(func(c *Context) { ran.Add(1) }, a, b)
+	})
+	if ran.Load() != 1 {
+		t.Fatal("gated child did not run")
+	}
+}
+
+func TestExternalPutInjector(t *testing.T) {
+	// A future resolved from outside the engine: the resume must travel
+	// through the engine's injector, not a worker deque.
+	e := exec.NewEngine(2)
+	defer e.Close()
+	in := NewFuture()
+	var got atomic.Int64
+	er, err := Submit(e, func(c *Context) {
+		got.Store(int64(in.Get(c).(int)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the getter park first
+	in.Put(nil, 7)                    // nil context: external resolver
+	if err := er.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 7 {
+		t.Fatalf("got %d, want 7", got.Load())
+	}
+}
+
+func TestTryGetAndResolved(t *testing.T) {
+	f := NewFuture()
+	if _, ok := f.TryGet(); ok || f.Resolved() {
+		t.Fatal("unresolved future reports resolved")
+	}
+	f.Put(nil, 3)
+	if v, ok := f.TryGet(); !ok || v != 3 || !f.Resolved() {
+		t.Fatalf("TryGet = %v,%v after Put", v, ok)
+	}
+}
+
+func TestDoublePutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put did not panic")
+		}
+	}()
+	f := NewFuture()
+	f.Put(nil, 1)
+	f.Put(nil, 2)
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	e := exec.NewEngine(1)
+	e.Close()
+	if _, err := Submit(e, func(c *Context) {}); err == nil {
+		t.Fatal("Submit on a closed engine succeeded")
+	}
+	if err := Run(e, func(c *Context) {}); err == nil {
+		t.Fatal("Run on a closed engine succeeded")
+	}
+}
+
+func TestDynInterleavesWithCompiled(t *testing.T) {
+	// Dynamic and compiled submissions share one engine concurrently.
+	e := exec.NewEngine(4)
+	defer e.Close()
+	g := diamondGraph(t)
+	const rounds = 20
+	errs := make(chan error, 2)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			r, err := e.Submit(g)
+			if err == nil {
+				err = r.Wait()
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if err := Run(e, fanRoot(32)); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fanRoot returns a root spawning n children through futures (half gated,
+// half direct), as a mixed dynamic workload.
+func fanRoot(n int) Task {
+	return func(c *Context) {
+		f := NewFuture()
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				c.SpawnAfter(func(c *Context) { f.Get(c) }, f)
+			} else {
+				c.Spawn(func(c *Context) {})
+			}
+		}
+		c.Spawn(func(c *Context) { f.Put(c, nil) })
+	}
+}
+
+func TestRunReusePooledState(t *testing.T) {
+	// Back-to-back runs on one engine exercise run/frame recycling and
+	// the DynTracker generation reset.
+	e := exec.NewEngine(4)
+	defer e.Close()
+	var total atomic.Int64
+	for round := 0; round < 50; round++ {
+		if err := Run(e, func(c *Context) {
+			for i := 0; i < 32; i++ {
+				c.Spawn(func(c *Context) { total.Add(1) })
+			}
+			c.Sync()
+			c.Spawn(func(c *Context) { total.Add(1) })
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := int64(50 * 33); total.Load() != want {
+		t.Fatalf("total = %d, want %d", total.Load(), want)
+	}
+}
+
+func TestDeepRecursionWithGet(t *testing.T) {
+	// Serial chain of suspensions: task i spawns task i+1 and Gets its
+	// result — maximal continuation depth, every Get a real suspension.
+	const depth = 200
+	var chain func(i int) Task
+	results := make([]*Future, depth+1)
+	for i := range results {
+		results[i] = NewFuture()
+	}
+	chain = func(i int) Task {
+		return func(c *Context) {
+			if i == depth {
+				results[i].Put(c, 0)
+				return
+			}
+			c.Spawn(chain(i + 1))
+			results[i].Put(c, results[i+1].Get(c).(int)+1)
+		}
+	}
+	e := exec.NewEngine(2)
+	defer e.Close()
+	if err := Run(e, chain(0)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := results[0].TryGet()
+	if !ok || v != depth {
+		t.Fatalf("chain result = %v,%v, want %d", v, ok, depth)
+	}
+}
+
+func TestWorkerOneSuspension(t *testing.T) {
+	// A single-worker engine must still make progress across
+	// suspensions: the replacement-goroutine path is the only way
+	// forward when the lone worker parks.
+	f := NewFuture()
+	var got int
+	runOn(t, 1, func(c *Context) {
+		c.Spawn(func(c *Context) { f.Put(c, 9) })
+		got = f.Get(c).(int)
+	})
+	if got != 9 {
+		t.Fatalf("got %d, want 9", got)
+	}
+}
+
+func TestPutAcrossEngines(t *testing.T) {
+	// A future shared between two engines: a task on engine B resolves
+	// what a task on engine A is parked on. The wakeup must route
+	// through A's injector — B's deques cannot carry A's task words.
+	ea := exec.NewEngine(2)
+	defer ea.Close()
+	eb := exec.NewEngine(2)
+	defer eb.Close()
+	f := NewFuture()
+	var got atomic.Int64
+	ra, err := Submit(ea, func(c *Context) {
+		got.Store(int64(f.Get(c).(int))) // parks on ea
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the getter park
+	if err := Run(eb, func(c *Context) { f.Put(c, 11) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 11 {
+		t.Fatalf("got %d, want 11", got.Load())
+	}
+}
+
+func TestDoublePutAfterRecoverStillResolved(t *testing.T) {
+	// A second Put must panic BEFORE touching the value, so readers of
+	// the resolved future never observe it change.
+	f := NewFuture()
+	f.Put(nil, 1)
+	func() {
+		defer func() { _ = recover() }()
+		f.Put(nil, 2)
+	}()
+	if v, ok := f.TryGet(); !ok || v != 1 {
+		t.Fatalf("resolved value corrupted by recovered double Put: %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,150 @@
+package dyn
+
+import (
+	"sync/atomic"
+)
+
+// Future is a single-assignment dataflow cell: the dynamic analogue of a
+// fire-construct edge. Exactly one Put resolves it; any number of strands
+// consume it with Get (suspending until resolution) or gate on it at
+// spawn time with Context.SpawnAfter / Context.SpawnFor. A second Put
+// panics.
+//
+// A Future is safe for concurrent use by any number of strands and
+// external goroutines.
+type Future struct {
+	// head is the Treiber stack of parked waiter registrations, or
+	// resolvedMark once Put ran. Pushes CAS the head (push-only Treiber
+	// stacks are ABA-safe); Put swaps the whole list out exactly once.
+	// The value write is ordered before the Swap, so any reader that
+	// observed resolvedMark reads the resolved value.
+	head  atomic.Pointer[waiter]
+	value any
+}
+
+// waiter links one parked frame into a future's waiter list. Nodes live
+// in the waiting frame's slab (frame.wn): a frame's wait counter cannot
+// drain before every node of the phase was consumed, so the slab needs no
+// separate lifetime tracking. Put must not touch a node after
+// decrementing its frame's counter.
+type waiter struct {
+	fr   *frame
+	next *waiter
+}
+
+// resolvedMark is the sentinel list head of a resolved future.
+var resolvedMark = &waiter{}
+
+// NewFuture returns an unresolved future.
+func NewFuture() *Future { return &Future{} }
+
+// Resolved reports whether Put has run.
+func (f *Future) Resolved() bool { return f.head.Load() == resolvedMark }
+
+// TryGet returns the resolved value without suspending: (value, true)
+// once Put ran, (nil, false) before. Usable from any goroutine, including
+// outside the engine.
+func (f *Future) TryGet() (any, bool) {
+	if f.head.Load() == resolvedMark {
+		return f.value, true
+	}
+	return nil, false
+}
+
+// addWaiter registers the node (its fr already set by the caller) on the
+// waiter list. It returns false — with nothing registered — when the
+// future is already resolved, in which case the caller settles the wait
+// counter itself.
+func (f *Future) addWaiter(n *waiter) bool {
+	for {
+		old := f.head.Load()
+		if old == resolvedMark {
+			return false
+		}
+		n.next = old
+		if f.head.CompareAndSwap(old, n) {
+			return true
+		}
+	}
+}
+
+// Put resolves the future with v and wakes every waiter: each parked
+// frame's wake counter is decremented, and the decrement that drains one
+// re-publishes that frame's task word. From task context (c non-nil) the
+// first woken frame chains as the calling worker's next task and the
+// rest go onto its deque, popped LIFO or stolen; from outside the engine
+// (c == nil) — or from a task on a different engine — the words take the
+// waiters' engine's injector, the resume path for external resolvers —
+// request handlers, pipeline feeders, test drivers.
+//
+// A future is single-assignment: a second Put panics. (The check is
+// exact for sequential reuse — including a first Put whose panic was
+// recovered — but two Puts racing from different goroutines are a data
+// race on the value, as for any racing single-assignment violation.)
+func (f *Future) Put(c *Context, v any) {
+	if f.head.Load() == resolvedMark {
+		// Detect re-assignment before touching the value: readers of the
+		// resolved future must never observe it change.
+		panic("dyn: Future.Put called twice (futures are single-assignment)")
+	}
+	f.value = v
+	old := f.head.Swap(resolvedMark)
+	if old == resolvedMark {
+		panic("dyn: Future.Put called twice (futures are single-assignment)")
+	}
+	for n := old; n != nil; {
+		// Save the link before the decrement: a drained frame may re-arm
+		// (and rewrite this node) the moment its counter reaches zero.
+		next := n.next
+		fr := n.fr
+		if fr.wait.Add(-1) == 0 {
+			r := fr.run
+			if c != nil && c.fr.run.eng == r.eng {
+				// The first woken frame chains as the resolver's next
+				// task (Puts typically resolve at body end); the rest
+				// are stealable immediately.
+				c.fr.w.PushChained(r.word(fr))
+			} else {
+				// The resolver is external — or a task on a different
+				// engine, whose deques cannot carry this run's words:
+				// route the wakeup through the frame's own engine.
+				r.eng.Inject(r.word(fr))
+			}
+		}
+		n = next
+	}
+}
+
+// Get returns the future's value, suspending the calling strand until Put
+// resolves it. The suspension parks the strand's continuation on the
+// future's waiter list behind one atomic counter and releases the worker
+// (see the package comment); a resolved future costs two atomic loads.
+func (f *Future) Get(c *Context) any {
+	if f.head.Load() == resolvedMark {
+		return f.value
+	}
+	fr := c.fr
+	// Arm the wake counter: the future's pending decrement plus the
+	// guard. The guard drop below decides the race against a concurrent
+	// Put — exactly one side observes zero.
+	fr.wait.Store(2)
+	fr.state.Store(stateParked)
+	n := &fr.nodes(1)[0]
+	n.fr = fr
+	if !f.addWaiter(n) {
+		// Resolved between the fast path and registration: nothing was
+		// parked, nobody will decrement. Disarm and continue inline.
+		fr.wait.Store(0)
+		fr.state.Store(stateRunning)
+		return f.value
+	}
+	if fr.wait.Add(-1) != 0 {
+		fr.park()
+	} else {
+		// Put drained the counter while we were registering: the wake
+		// word was never published (Put's decrement saw 2→1), so the
+		// strand continues inline with no suspension.
+		fr.state.Store(stateRunning)
+	}
+	return f.value
+}

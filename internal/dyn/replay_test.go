@@ -1,0 +1,172 @@
+package dyn
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/exec"
+	"github.com/ndflow/ndflow/internal/footprint"
+)
+
+// chainGraph compiles a ; b ; c ; d — strand i depends exactly on i−1 —
+// with bodies appending their strand index to out.
+func chainGraph(t *testing.T, out *[]int) *core.Graph {
+	t.Helper()
+	mk := func(i int) *core.Node {
+		return core.NewStrand(fmt.Sprint(i), 1, nil, nil, func() { *out = append(*out, i) })
+	}
+	p, err := core.NewProgram(core.NewSeq(mk(0), mk(1), mk(2), mk(3)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStrandDepsChain(t *testing.T) {
+	var out []int
+	g := chainGraph(t, &out)
+	deps := StrandDeps(g.Exec())
+	want := [][]int32{nil, {0}, {1}, {2}}
+	if fmt.Sprint(deps) != fmt.Sprint(want) {
+		t.Fatalf("StrandDeps = %v, want %v", deps, want)
+	}
+}
+
+func TestStrandDepsFire(t *testing.T) {
+	// The quickstart's Figure 3 shape: MAIN { (A;B) FG~> (C;D) } with
+	// +1~>-1 — C depends on A and B... no: only on A (and the serial
+	// order C before D, A before B). Check against the paper's DAG.
+	mk := func(l string) *core.Node { return core.NewStrand(l, 1, nil, nil, nil) }
+	root := core.NewFire("FG", core.NewSeq(mk("A"), mk("B")), core.NewSeq(mk("C"), mk("D")))
+	p, err := core.NewProgram(root, core.RuleSet{"FG": {core.R("1", core.FullDep, "1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := StrandDeps(g.Exec())
+	// Strands in elision order: A=0 B=1 C=2 D=3. B after A; C after A
+	// (the fire rule); D after C. D must NOT depend on B.
+	want := [][]int32{nil, {0}, {0}, {2}}
+	if fmt.Sprint(deps) != fmt.Sprint(want) {
+		t.Fatalf("StrandDeps = %v, want %v", deps, want)
+	}
+}
+
+func TestRunGraphMatchesElision(t *testing.T) {
+	var serial []int
+	gs := chainGraph(t, &serial)
+	if err := exec.RunElision(gs); err != nil {
+		t.Fatal(err)
+	}
+
+	var dynOut []int
+	gd := chainGraph(t, &dynOut)
+	e := exec.NewEngine(4)
+	defer e.Close()
+	if err := RunGraph(e, gd); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(dynOut) != fmt.Sprint(serial) {
+		t.Fatalf("dynamic replay order %v, elision %v", dynOut, serial)
+	}
+}
+
+// TestReplayManyStrands pushes Replay past one spawn block so the block
+// fan-out, batched counter charges and shard recycling all engage, and
+// re-runs the same root to exercise pooled-state reuse.
+func TestReplayManyStrands(t *testing.T) {
+	const n = 300 // > replayBlock
+	var hits atomic.Int64
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		lo := int64(i)
+		nodes[i] = core.NewStrand(fmt.Sprint(i), 1,
+			footprint.Single(lo, lo+1), footprint.Single(lo, lo+1),
+			func() { hits.Add(1) })
+	}
+	p, err := core.NewProgram(core.NewPar(nodes...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg := g.Exec()
+	root := Replay(eg, StrandDeps(eg))
+	e := exec.NewEngine(4)
+	defer e.Close()
+	for round := 1; round <= 3; round++ {
+		if err := Run(e, root); err != nil {
+			t.Fatal(err)
+		}
+		if got := hits.Load(); got != int64(round*n) {
+			t.Fatalf("round %d: %d strand executions, want %d", round, got, round*n)
+		}
+	}
+}
+
+func TestSpawnForIndexed(t *testing.T) {
+	// SpawnFor carries the iteration index in the frame: all spawns share
+	// one body closure, with and without future gating.
+	const n = 50
+	var sum atomic.Int64
+	gate := NewFuture()
+	e := exec.NewEngine(4)
+	defer e.Close()
+	body := func(c *Context, x int64) { sum.Add(x + gate.Get(c).(int64)) }
+	if err := Run(e, func(c *Context) {
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				c.SpawnFor(body, int64(i), gate)
+			} else {
+				c.SpawnFor(func(c *Context, x int64) { sum.Add(x) }, int64(i))
+			}
+		}
+		c.Spawn(func(c *Context) { gate.Put(c, int64(1000)) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n*(n-1)/2 + 25*1000); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+// TestWideGating waits on more futures than the inline waiter array
+// holds, exercising the spill slab.
+func TestWideGating(t *testing.T) {
+	const k = 7
+	futs := make([]*Future, k)
+	for i := range futs {
+		futs[i] = NewFuture()
+	}
+	var ran atomic.Int32
+	e := exec.NewEngine(4)
+	defer e.Close()
+	if err := Run(e, func(c *Context) {
+		c.SpawnAfter(func(c *Context) {
+			for _, f := range futs {
+				f.Get(c)
+			}
+			ran.Add(1)
+		}, futs...)
+		for i, f := range futs {
+			i, f := i, f
+			c.Spawn(func(c *Context) { f.Put(c, i) })
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("wide-gated task did not run exactly once")
+	}
+}

@@ -35,11 +35,13 @@ func NewInstance(eg *core.ExecGraph) *Instance {
 // Graph returns the compiled graph this instance executes.
 func (in *Instance) Graph() *core.ExecGraph { return in.eg }
 
-// Run is the handle of one in-flight graph execution on an Engine.
+// Run is the handle of one in-flight execution on an Engine: either a
+// compiled graph (inst non-nil) or a dynamic run (dyn non-nil).
 type Run struct {
 	eng  *Engine
 	inst *Instance
 	pool *instPool // non-nil when the instance returns to an engine pool
+	dyn  DynRun    // non-nil for dynamic runs (see SubmitDyn)
 	slot int32
 	err  error
 	done chan struct{} // buffered(1); finish sends, Wait receives
@@ -55,21 +57,30 @@ func (r *Run) Wait() error {
 	err := r.err
 	e := r.eng
 	inst, pool := r.inst, r.pool
-	if err == nil && inst.ct.Done() {
-		// Rewind before republishing so pooled and caller-owned instances
-		// are always ready to run; the engine mutex (or the caller's own
-		// resubmission ordering) establishes happens-before with workers.
-		inst.ct.Reset()
-	} else {
-		pool = nil // never reuse a failed run's state
+	if inst != nil {
+		if err == nil && inst.ct.Done() {
+			// Rewind before republishing so pooled and caller-owned
+			// instances are always ready to run; the engine mutex (or the
+			// caller's own resubmission ordering) establishes
+			// happens-before with workers.
+			inst.ct.Reset()
+		} else {
+			pool = nil // never reuse a failed run's state
+		}
 	}
+	d := r.dyn
 	e.mu.Lock()
 	if pool != nil {
 		pool.free = append(pool.free, inst)
 	}
-	r.inst, r.pool = nil, nil
+	r.inst, r.pool, r.dyn = nil, nil, nil
 	e.freeRun = append(e.freeRun, r)
 	e.mu.Unlock()
+	if d != nil && err == nil {
+		// The engine holds no reference to the dynamic run anymore; hand
+		// its pooled state back for reuse.
+		d.Retire()
+	}
 	return err
 }
 
@@ -117,11 +128,15 @@ type Engine struct {
 	// served first; the dead prefix is compacted, worksteal-deque style.
 	inject     []int64
 	injectHead int
-	freeSlot   []int32
-	freeRun    []*Run
-	slots      atomic.Pointer[[]*Run] // copy-on-write snapshot, indexed by task slot
-	progs      map[*core.Program]*progEntry
-	pools      map[*core.ExecGraph]*instPool
+	// spares are goroutines parked after donating their worker identity
+	// to a resumed dynamic continuation; a later suspension hands one of
+	// them a slot instead of spawning a goroutine (see Worker.Detach).
+	spares   []chan int
+	freeSlot []int32
+	freeRun  []*Run
+	slots    atomic.Pointer[[]*Run] // copy-on-write snapshot, indexed by task slot
+	progs    map[*core.Program]*progEntry
+	pools    map[*core.ExecGraph]*instPool
 }
 
 // NewEngine starts an engine with the given worker count (GOMAXPROCS when
@@ -196,7 +211,7 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 		}
 	}
 	r := e.getRunLocked()
-	r.inst, r.pool, r.err = inst, pool, nil
+	r.inst, r.pool, r.err, r.dyn = inst, pool, nil, nil
 
 	initial := inst.ct.InitialReady()
 	if len(initial) == 0 {
@@ -262,6 +277,9 @@ func (e *Engine) Close() {
 		e.closed = true
 		e.epoch++
 		e.cond.Broadcast()
+		if e.active == 0 {
+			e.drainSparesLocked()
+		}
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
@@ -269,7 +287,8 @@ func (e *Engine) Close() {
 
 // packTask packs a run slot and strand ID into one deque word. Both are
 // non-negative int32s, so the word is non-negative and -1 can serve as
-// the workers' "no task" sentinel.
+// the workers' "no task" sentinel. Slots stay below 2³⁰ (enforced by
+// allocSlotLocked), keeping bit 62 free for dynTaskBit.
 func packTask(slot, id int32) int64 { return int64(slot)<<32 | int64(uint32(id)) }
 
 func unpackTask(t int64) (slot, id int32) { return int32(t >> 32), int32(uint32(t)) }
@@ -297,6 +316,12 @@ func (e *Engine) allocSlotLocked(r *Run) int32 {
 		return s
 	}
 	old := *e.slots.Load()
+	if len(old) >= 1<<30 {
+		// A slot this high would collide with the dynamic task-kind bit
+		// when shifted into a task word; 2³⁰ concurrent in-flight runs is
+		// far beyond anything a Run handle per submission can reach.
+		panic("exec: over 2³⁰ concurrent runs in flight")
+	}
 	next := make([]*Run, len(old)+1, 2*len(old)+8)
 	copy(next, old)
 	next[len(old)] = r
@@ -408,7 +433,7 @@ func (e *Engine) wake(n int) {
 // the submitter is released. Exactly one worker per run gets done=true
 // from Complete, so finish runs once.
 func (e *Engine) finish(r *Run) {
-	if !r.inst.ct.Done() {
+	if r.inst != nil && !r.inst.ct.Done() {
 		r.err = fmt.Errorf("exec: engine run stalled at %d of %d strands (DAG deadlock)",
 			r.inst.ct.Executed(), r.inst.eg.NumStrands())
 	}
@@ -418,6 +443,7 @@ func (e *Engine) finish(r *Run) {
 	if e.closed && e.active == 0 {
 		e.epoch++
 		e.cond.Broadcast()
+		e.drainSparesLocked()
 	}
 	e.mu.Unlock()
 	r.done <- struct{}{}
@@ -425,21 +451,53 @@ func (e *Engine) finish(r *Run) {
 
 func (e *Engine) worker(self int) {
 	defer e.wg.Done()
-	d := e.deques[self]
-	rng := uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	e.workerLoop(newWorker(e, self))
+}
+
+// workerLoop drains tasks until the engine shuts down. It is entered by
+// the construction-time workers and by replacement goroutines spawned
+// when a dynamic strand suspends (Worker.Detach). The loop re-reads its
+// identity every iteration: a dynamic task body runs inline on the
+// calling goroutine and may suspend mid-body, in which case the goroutine
+// parks, is later resumed by a slot donation, and returns from Exec
+// owning a different deque than it entered with.
+func (e *Engine) workerLoop(w *Worker) {
+	rng := uint64(w.self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	ready := make([]int32, 0, 64)
 	scratch := make([]int32, 0, 64)
 	next := int64(-1)
 	for {
+		d := e.deques[w.self]
 		t := next
 		next = -1
 		if t < 0 {
 			var ok bool
 			if t, ok = d.pop(); !ok {
-				if t, ok = e.acquire(self, &rng); !ok {
+				if t, ok = e.acquire(w.self, &rng); !ok {
 					return
 				}
 			}
+		}
+		if t&dynTaskBit != 0 {
+			slot, id := unpackTask(t &^ dynTaskBit)
+			r := (*e.slots.Load())[slot]
+			finished, detached := r.dyn.Exec(w, id)
+			if finished {
+				e.finish(r)
+			}
+			if detached {
+				// The donation branch publishes nothing, so no deferred
+				// word can be pending here.
+				if !e.retire(w) {
+					return
+				}
+				continue
+			}
+			// Chain straight into the task the body published first (if
+			// any) — the dynamic counterpart of the ready-list chaining
+			// below.
+			next = w.takeDeferred()
+			continue
 		}
 		slot, id := unpackTask(t)
 		r := (*e.slots.Load())[slot]

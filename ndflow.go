@@ -38,6 +38,7 @@ import (
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/deps"
+	"github.com/ndflow/ndflow/internal/dyn"
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/footprint"
 	"github.com/ndflow/ndflow/internal/metrics"
@@ -228,6 +229,53 @@ func Run(g *Graph, workers int) error {
 
 // RunSerial executes the program's serial elision.
 func RunSerial(g *Graph) error { return exec.RunElision(g) }
+
+// --- Dynamic (online) execution
+//
+// The compiled pipeline above requires the whole spawn tree and fire-rule
+// set up front. The dynamic API is the paper's programming model as it
+// unfolds: strands spawn, sync and touch futures while the computation
+// runs, and the scheduler discovers the DAG one task at a time — the form
+// required for input-dependent recursion, pipelines and request streams.
+// Dynamic tasks execute on the same engine worker pool as compiled
+// submissions, interleaved on the same work-stealing deques.
+
+// TaskContext is the capability handed to every dynamic task body: spawn
+// children (Spawn, SpawnAfter, SpawnFor), join them (Sync, plus the
+// implicit sync when the body returns), and resolve futures. Valid only
+// during the body's call, on the calling goroutine.
+type TaskContext = dyn.Context
+
+// Future is a single-assignment dataflow cell — the dynamic analogue of a
+// fire-construct edge. Put resolves it exactly once; Get suspends the
+// calling strand until it is resolved (parking the continuation behind
+// one atomic counter, the online counterpart of the wake-graph counters).
+type Future = dyn.Future
+
+// NewFuture returns an unresolved future.
+func NewFuture() *Future { return dyn.NewFuture() }
+
+// SubmitDynamic enqueues a dynamic task tree rooted at root on the engine
+// (the package-default engine when e is nil) and returns its in-flight
+// handle; Wait blocks until the root and its entire subtree (every
+// transitively spawned task) have completed.
+func SubmitDynamic(e *Engine, root func(*TaskContext)) (*Submission, error) {
+	if e == nil {
+		e = DefaultEngine()
+	}
+	return dyn.Submit(e, root)
+}
+
+// RunDynamic executes a dynamic task tree to completion on the engine
+// (the package-default engine when e is nil). Steady-state re-runs reuse
+// pooled frames and run state, so dynamic serving loops allocate O(1) per
+// task.
+func RunDynamic(e *Engine, root func(*TaskContext)) error {
+	if e == nil {
+		e = DefaultEngine()
+	}
+	return dyn.Run(e, root)
+}
 
 // --- Machine simulation
 

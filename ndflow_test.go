@@ -188,3 +188,40 @@ func TestDOTThroughFacade(t *testing.T) {
 		t.Fatal("no DOT output")
 	}
 }
+
+// TestDynamicThroughFacade drives the dynamic API end to end through the
+// public surface: nested spawn/sync, future gating, a suspending Get, an
+// explicit submission handle, and the package-default engine.
+func TestDynamicThroughFacade(t *testing.T) {
+	f := ndflow.NewFuture()
+	var got atomic.Int64
+	if err := ndflow.RunDynamic(nil, func(c *ndflow.TaskContext) {
+		c.Spawn(func(c *ndflow.TaskContext) { f.Put(c, int64(21)) })
+		c.SpawnAfter(func(c *ndflow.TaskContext) {
+			got.Add(f.Get(c).(int64))
+		}, f)
+		got.Add(f.Get(c).(int64)) // may suspend; resolved by the child
+		c.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 42 {
+		t.Fatalf("got %d, want 42", got.Load())
+	}
+
+	eng := ndflow.NewEngine(2)
+	defer eng.Close()
+	done := ndflow.NewFuture()
+	sub, err := ndflow.SubmitDynamic(eng, func(c *ndflow.TaskContext) {
+		done.Put(c, done.Resolved()) // resolved-state check from task context
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := done.TryGet(); !ok || v != false {
+		t.Fatalf("TryGet = %v,%v", v, ok)
+	}
+}
