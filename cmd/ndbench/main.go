@@ -14,6 +14,12 @@
 //
 //	ndbench -serve                            # defaults: FW-1D n=256, 4×200
 //	ndbench -serve -submitters 8 -repeats 500 -algo TRS -n 128 -nilbodies
+//	ndbench -serve -workers 2                 # pin the engine pool size
+//	ndbench -serve -locality                  # add the cache-domain engine row
+//
+// -workers pins the engine pool size (default GOMAXPROCS), so a worker
+// sweep is one invocation per count; -locality adds an engine whose
+// workers are grouped into cache domains (see DESIGN.md).
 //
 // Passing -json in either mode emits the result tables as a JSON array on
 // stdout instead of printed tables, for machine-readable benchmark
@@ -37,6 +43,7 @@ import (
 	"github.com/ndflow/ndflow/internal/dyn"
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/experiments"
+	"github.com/ndflow/ndflow/internal/pmh"
 )
 
 func main() {
@@ -52,9 +59,10 @@ func main() {
 		algo       = flag.String("algo", "FW-1D", "serving mode: algorithm builder (see experiments)")
 		size       = flag.Int("n", 256, "serving mode: problem size")
 		base       = flag.Int("base", 8, "serving mode: divide-and-conquer base case")
-		workers    = flag.Int("workers", 0, "serving mode: engine worker count (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "serving mode: engine worker count (0 = GOMAXPROCS); sweep by invoking once per count")
 		nilBodies  = flag.Bool("nilbodies", false, "serving mode: strip strand closures (pure scheduling)")
 		dynMode    = flag.Bool("dyn", false, "serving mode: add the dynamic runtime (online Spawn/Future replay) as a third row")
+		locality   = flag.Bool("locality", false, "serving mode: add the locality-aware engine (cache-domain anchoring on pmh.DefaultSpec(workers)) as another row")
 	)
 	flag.Parse()
 
@@ -65,7 +73,7 @@ func main() {
 		return
 	}
 	if *serve {
-		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies, *dynMode)
+		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies, *dynMode, *locality)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ndbench:", err)
 			os.Exit(1)
@@ -129,7 +137,7 @@ func emit(tables []*experiments.Table, jsonOut bool) {
 // like the default FW-1D, not for in-place destructive factorizations
 // (LU, Cholesky, TRS). -nilbodies strips the closures, shares one graph
 // across submitters, and isolates scheduling overhead for any algorithm.
-func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies, dynMode bool) (*experiments.Table, error) {
+func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies, dynMode, locality bool) (*experiments.Table, error) {
 	// Pure forward recurrences recompute the same table from untouched
 	// inputs, so re-running one instance is sound; everything else (the
 	// in-place destructive factorizations and solves) must serve with
@@ -181,6 +189,28 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 	}{
 		{"engine", func(s int) error { return eng.Run(graphs[s].P) }},
 		{"spawn-per-run", func(s int) error { return exec.RunParallel(graphs[s], workers) }},
+	}
+	if locality {
+		// The locality-aware engine: the same cached re-runs with workers
+		// grouped into cache domains from the default machine-shaped spec,
+		// anchored tasks routed to their domains, nearest-first stealing.
+		// With -nilbodies the anchor plan is empty by design (footprints
+		// no body touches are not worth colocating) and this row should
+		// match the flat engine.
+		locEng, err := exec.NewLocalityEngine(workers, pmh.DefaultSpec(workers), 0)
+		if err != nil {
+			return nil, err
+		}
+		defer locEng.Close()
+		for _, g := range graphs {
+			if err := locEng.Run(g.P); err != nil {
+				return nil, err
+			}
+		}
+		modes = append(modes, struct {
+			name string
+			run  func(s int) error
+		}{"engine-locality", func(s int) error { return locEng.Run(graphs[s].P) }})
 	}
 	if dynMode {
 		// The online runtime replaying the same strand closures through

@@ -1,16 +1,18 @@
 // Cross-runtime differential tests: every algorithm builder executed via
 // the serial elision, the adversarial serial orders (random topological,
 // reverse greedy), the mutex-serialized baseline, the lock-free work
-// stealer, the long-lived engine and the online dynamic runtime must
-// produce bit-identical output matrices. The compiled runtimes propagate
-// readiness through the strand-level wake graph (serial drivers via
-// Tracker, parallel ones via ConcurrentTracker); the dynamic runtime
-// rebuilds the dependency structure online from Spawn/Future gating and
-// learns the DAG one task at a time. All seven execute the same strand
+// stealer, the long-lived engine, the online dynamic runtime and the
+// locality-aware engine must produce bit-identical output matrices. The
+// compiled runtimes propagate readiness through the strand-level wake
+// graph (serial drivers via Tracker, parallel ones via
+// ConcurrentTracker); the dynamic runtime rebuilds the dependency
+// structure online from Spawn/Future gating and learns the DAG one task
+// at a time; the locality-aware engine re-routes anchored strands
+// through cache-domain mailboxes. All eight execute the same strand
 // closures, and the deps validator guarantees conflicting accesses are
 // ordered by the DAG, so any divergence — down to the last mantissa bit —
-// is a scheduler, wake-graph-collapse or suspension bug. Run under -race
-// in CI.
+// is a scheduler, wake-graph-collapse, suspension or anchoring bug. Run
+// under -race in CI.
 package ndflow_test
 
 import (
@@ -31,6 +33,7 @@ import (
 	"github.com/ndflow/ndflow/internal/dyn"
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/matrix"
+	"github.com/ndflow/ndflow/internal/pmh"
 )
 
 // diffCase builds a fresh instance of an algorithm and exposes its output
@@ -206,6 +209,23 @@ func diffBits(t *testing.T, label string, got, want []uint64) {
 func TestRuntimesBitIdentical(t *testing.T) {
 	eng := exec.NewEngine(4)
 	defer eng.Close()
+	// A deliberately tiny hierarchy for the locality-aware engine: the L2
+	// anchoring threshold (σ·960/4 = 80 words) sits inside the footprint
+	// range of the 16×16 builders' task trees, so anchoring, domain
+	// claiming, mailbox handoffs and budget fallbacks all fire during the
+	// differential run.
+	locEng, err := exec.NewLocalityEngine(4, pmh.Spec{
+		ProcsPerL1: 1,
+		Caches: []pmh.CacheSpec{
+			{Size: 192, Fanout: 2, MissCost: 1},
+			{Size: 960, Fanout: 2, MissCost: 10},
+		},
+		MemMissCost: 100,
+	}, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer locEng.Close()
 	runtimes := []struct {
 		name string
 		run  func(g *core.Graph) error
@@ -227,6 +247,16 @@ func TestRuntimesBitIdentical(t *testing.T) {
 		// revealed to the scheduler one task at a time. Shares the
 		// engine's workers and deques with the compiled submissions.
 		{"dyn", func(g *core.Graph) error { return dyn.RunGraph(eng, g) }},
+		// The locality-aware engine: anchored strands detour through
+		// cache-domain mailboxes and victim selection walks nearest-first,
+		// but the schedule must still be a legal execution of the DAG.
+		{"locality-4", func(g *core.Graph) error {
+			r, err := locEng.Submit(g)
+			if err != nil {
+				return err
+			}
+			return r.Wait()
+		}},
 	}
 	for _, c := range diffCases() {
 		for _, model := range c.models {
@@ -248,6 +278,11 @@ func TestRuntimesBitIdentical(t *testing.T) {
 				}
 			})
 		}
+	}
+	// The locality spec is only a meaningful eighth runtime if its
+	// anchoring machinery actually engaged on these inputs.
+	if s := locEng.Topology().Stats(); s.Claims == 0 {
+		t.Errorf("locality engine never claimed an anchor across the differential suite: %+v", s)
 	}
 }
 

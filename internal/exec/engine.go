@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/ndflow/ndflow/internal/core"
+	"github.com/ndflow/ndflow/internal/pmh"
 )
 
 // ErrEngineClosed is returned by submissions to a closed engine.
@@ -24,6 +25,14 @@ var ErrEngineClosed = errors.New("exec: engine is closed")
 type Instance struct {
 	eg *core.ExecGraph
 	ct *core.ConcurrentTracker
+	// loc is the run's anchoring state on a locality-aware engine (nil on
+	// flat engines and for graphs whose plan anchors nothing). Attached by
+	// the engine at submission, rewound together with the tracker; locTopo
+	// remembers which topology it was derived for, so graphs with empty
+	// plans are not re-planned on every submission and caller-owned
+	// instances migrating between engines are re-bound.
+	loc     *locState
+	locTopo *Topology
 }
 
 // NewInstance allocates run state for the compiled graph. The instance is
@@ -64,6 +73,9 @@ func (r *Run) Wait() error {
 			// caller's own resubmission ordering) establishes
 			// happens-before with workers.
 			inst.ct.Reset()
+			if inst.loc != nil {
+				inst.loc.reset()
+			}
 		} else {
 			pool = nil // never reuse a failed run's state
 		}
@@ -137,11 +149,43 @@ type Engine struct {
 	slots    atomic.Pointer[[]*Run] // copy-on-write snapshot, indexed by task slot
 	progs    map[*core.Program]*progEntry
 	pools    map[*core.ExecGraph]*instPool
+
+	// topo is the locality-aware steal topology, nil on flat engines. When
+	// set, victim selection walks domains nearest-first, anchored strands
+	// route through per-domain mailboxes, and submissions attach anchoring
+	// state to their instances (see topology.go).
+	topo *Topology
 }
 
 // NewEngine starts an engine with the given worker count (GOMAXPROCS when
 // workers ≤ 0). The workers live until Close.
 func NewEngine(workers int) *Engine {
+	return newEngine(workers, nil)
+}
+
+// NewLocalityEngine starts an engine whose workers are grouped into cache
+// domains by the given machine spec (pmh.DefaultSpec for the zero value):
+// victim selection walks nearest-first — same domain, then sibling
+// domains, then the whole pool — and tasks whose compiled footprint
+// σ-fits a domain's cache are anchored there, the online analogue of the
+// simulator's space-bounded anchoring rule (see topology.go). Workers ≤ 0
+// means GOMAXPROCS; the spec's processor count must match the worker
+// count. Sigma outside (0,1) defaults to the paper's 1/3.
+func NewLocalityEngine(workers int, spec pmh.Spec, sigma float64) (*Engine, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	topo, err := NewTopology(spec, workers, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(workers, topo), nil
+}
+
+// Topology returns the engine's steal topology, nil for flat engines.
+func (e *Engine) Topology() *Topology { return e.topo }
+
+func newEngine(workers int, topo *Topology) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -150,6 +194,7 @@ func NewEngine(workers int) *Engine {
 		deques:  make([]*wsDeque, workers),
 		progs:   make(map[*core.Program]*progEntry),
 		pools:   make(map[*core.ExecGraph]*instPool),
+		topo:    topo,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := range e.deques {
@@ -209,6 +254,14 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 		} else {
 			inst = NewInstance(eg)
 		}
+	}
+	if e.topo != nil && inst.locTopo != e.topo {
+		// Attach anchoring state on first contact with this topology
+		// (newState returns nil when the plan anchors nothing; pooled
+		// instances keep theirs, a caller-owned instance migrating between
+		// engines is re-bound). One pointer compare in the steady state.
+		inst.loc = e.topo.newState(eg)
+		inst.locTopo = e.topo
 	}
 	r := e.getRunLocked()
 	r.inst, r.pool, r.err, r.dyn = inst, pool, nil, nil
@@ -366,21 +419,46 @@ func (e *Engine) takeInjectLocked(self int) (int64, bool) {
 // acquire finds work for an idle worker: the submission queue first, then
 // a steal sweep, then parking. Returns false when the engine is closed
 // and fully drained.
-func (e *Engine) acquire(self int, rng *uint64) (int64, bool) {
+//
+// On a locality-aware engine the sweep is hierarchical: the worker's own
+// domain mailboxes (lowest level first), then a nearest-first steal walk,
+// then every other domain's mailbox — anchored work is preferred by its
+// domain but never strands while anyone is idle. Both the first sweep and
+// the post-announcement recheck run the full hierarchy, so the parking
+// protocol's guarantee (a publication between sweep and park is never
+// lost) covers mailbox publications too.
+func (e *Engine) acquire(self int, rng *uint64, buf []int64) (int64, []int64, bool) {
+	sweep := func() (int64, bool) {
+		if e.topo != nil {
+			var t int64
+			var ok bool
+			if t, buf, ok = e.pollMail(self, true, buf); ok {
+				return t, true
+			}
+			if t, ok = e.topo.stealNear(e.deques, self, rng); ok {
+				return t, true
+			}
+			if t, buf, ok = e.pollMail(self, false, buf); ok {
+				return t, true
+			}
+			return 0, false
+		}
+		return stealFrom(e.deques, self, rng)
+	}
 	for {
 		e.mu.Lock()
 		if t, ok := e.takeInjectLocked(self); ok {
 			e.mu.Unlock()
-			return t, true
+			return t, buf, true
 		}
 		if e.closed && e.active == 0 {
 			e.mu.Unlock()
-			return 0, false
+			return 0, buf, false
 		}
 		ep := e.epoch
 		e.mu.Unlock()
-		if t, ok := stealFrom(e.deques, self, rng); ok {
-			return t, true
+		if t, ok := sweep(); ok {
+			return t, buf, true
 		}
 		e.mu.Lock()
 		if e.epoch == ep {
@@ -394,12 +472,12 @@ func (e *Engine) acquire(self int, rng *uint64) (int64, bool) {
 			// atomics forbid missing both). Without it, a push landing
 			// between the first sweep and the count increment would strand
 			// us parked while tasks sit in an active worker's deque.
-			if t, ok := stealFrom(e.deques, self, rng); ok {
+			if t, ok := sweep(); ok {
 				e.mu.Lock()
 				e.sleepers--
 				e.nSleep.Store(int32(e.sleepers))
 				e.mu.Unlock()
-				return t, true
+				return t, buf, true
 			}
 			e.mu.Lock()
 			if e.epoch == ep {
@@ -465,6 +543,7 @@ func (e *Engine) workerLoop(w *Worker) {
 	rng := uint64(w.self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	ready := make([]int32, 0, 64)
 	scratch := make([]int32, 0, 64)
+	var mailBuf []int64 // mailbox scratch, used on locality-aware engines
 	next := int64(-1)
 	for {
 		d := e.deques[w.self]
@@ -473,7 +552,7 @@ func (e *Engine) workerLoop(w *Worker) {
 		if t < 0 {
 			var ok bool
 			if t, ok = d.pop(); !ok {
-				if t, ok = e.acquire(w.self, &rng); !ok {
+				if t, mailBuf, ok = e.acquire(w.self, &rng, mailBuf); !ok {
 					return
 				}
 			}
@@ -507,7 +586,14 @@ func (e *Engine) workerLoop(w *Worker) {
 		}
 		var finished bool
 		ready, scratch, finished = inst.ct.Complete(id, ready[:0], scratch)
-		if n := len(ready); n > 0 {
+		if lp := inst.loc; lp != nil && lp.topo == e.topo {
+			// Locality-aware engine: account the completion against the
+			// strand's anchor task and route the enabled strands — home
+			// (or flat) ones chain/push locally, strands anchored to
+			// another domain go to its mailbox.
+			lp.complete(id)
+			next = e.routeReady(w, d, lp, slot, id, ready)
+		} else if n := len(ready); n > 0 {
 			// Keep one enabled strand as the next local task; the rest go
 			// on the deque for thieves (waking one if any are parked).
 			next = packTask(slot, ready[n-1])

@@ -14,6 +14,7 @@ package pmh
 import (
 	"container/list"
 	"fmt"
+	"runtime"
 )
 
 // CacheSpec describes one cache level.
@@ -72,10 +73,17 @@ func (s Spec) ServiceCost(j int) int64 {
 	return c
 }
 
-// Validate checks the spec is well formed.
+// Validate checks the spec is well formed. Beyond per-field sanity it
+// enforces the divisibility invariant every topology consumer (the
+// simulator's schedulers, the real engine's steal topology) relies on:
+// the tree must be uniform, so the processor span of each unit —
+// Processors()/CacheCount(i) — and the child span between adjacent levels
+// divide evenly and are never empty. A spec violating it (a zero or
+// negative fanout, no processors under an L1) would integer-divide its
+// way to wrong, even empty, processor ranges instead of failing loudly.
 func (s Spec) Validate() error {
 	if s.ProcsPerL1 < 1 {
-		return fmt.Errorf("pmh: ProcsPerL1 = %d", s.ProcsPerL1)
+		return fmt.Errorf("pmh: ProcsPerL1 = %d; every L1 needs at least one processor", s.ProcsPerL1)
 	}
 	if len(s.Caches) == 0 {
 		return fmt.Errorf("pmh: no cache levels")
@@ -89,6 +97,25 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("pmh: cache level %d smaller than level below", i+1)
 		}
 		prev = c.Size
+	}
+	procs := s.Processors()
+	if procs < 1 {
+		return fmt.Errorf("pmh: spec yields %d processors", procs)
+	}
+	for i := range s.Caches {
+		n := s.CacheCount(i)
+		if n < 1 {
+			return fmt.Errorf("pmh: level %d has %d caches", i+1, n)
+		}
+		if procs%n != 0 || procs/n < 1 {
+			return fmt.Errorf("pmh: %d processors do not divide evenly over %d level-%d caches", procs, n, i+1)
+		}
+		if i+1 < len(s.Caches) {
+			m := s.CacheCount(i + 1)
+			if n%m != 0 {
+				return fmt.Errorf("pmh: %d level-%d caches do not divide evenly over %d level-%d caches", n, i+1, m, i+2)
+			}
+		}
 	}
 	return nil
 }
@@ -184,6 +211,49 @@ func (m *Machine) Reset() {
 	}
 	m.misses = make([]int64, m.Levels())
 	m.accesses = 0
+}
+
+// DefaultSpec returns a realistically-shaped three-level hierarchy for
+// the given processor count (GOMAXPROCS when procs ≤ 0): a private L1
+// per processor, L2s shared by small groups, and one L3 shared by
+// everything. Sizes are in words (B = 1, 8-byte words): 32KB L1, 512KB
+// L2, 16MB L3, with miss costs roughly in the measured latency ratios of
+// commodity parts. Group sizes are chosen as the largest divisor of
+// procs that is at most 4 — falling back to the smallest divisor above 4
+// for counts like 25 or 49, so composite counts always keep several
+// uniform L2 groups — and the spec stays valid for any count; a prime
+// count above 4 gets one L2 spanning all L1s.
+func DefaultSpec(procs int) Spec {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	share := 1
+	for d := 4; d >= 2; d-- {
+		if procs%d == 0 {
+			share = d
+			break
+		}
+	}
+	if share == 1 && procs > 4 {
+		for d := 5; d*d <= procs; d++ {
+			if procs%d == 0 {
+				share = d // smallest divisor > 4: most groups possible
+				break
+			}
+		}
+		if share == 1 {
+			share = procs // prime: one L2 spans every L1
+		}
+	}
+	return Spec{
+		ProcsPerL1: 1,
+		Caches: []CacheSpec{
+			{Size: 4 << 10, Fanout: share, MissCost: 4},           // 32KB L1
+			{Size: 64 << 10, Fanout: procs / share, MissCost: 16}, // 512KB L2
+			{Size: 2 << 20, Fanout: 1, MissCost: 64},              // 16MB L3
+		},
+		MemMissCost: 256,
+	}
 }
 
 // ThreeLevel returns a small, fully exercised example machine: p

@@ -183,6 +183,12 @@ func (s *Scheduler) allocation(level int, size int64) int {
 func (s *Scheduler) Init(ctx *sim.Ctx) error {
 	s.ctx = ctx
 	s.spec = ctx.Machine.Spec
+	// The topology helpers (procRange, unitsUnder) integer-divide their
+	// way through a uniform tree; a malformed spec would hand out wrong —
+	// even empty — processor ranges, so reject it before any anchoring.
+	if err := s.spec.Validate(); err != nil {
+		return fmt.Errorf("spacebound: %w", err)
+	}
 	s.H = s.spec.Levels()
 	s.procs = s.spec.Processors()
 	p := ctx.Graph.P
@@ -394,7 +400,7 @@ func (s *Scheduler) Done(proc int, leaf *core.Node) {
 			continue
 		}
 		s.status[t.ID] = finished
-		if a := s.homeAnchor[t.ID]; a != nil && a.task == t && s.status[t.ID] == finished && a.level <= s.H && !a.done {
+		if a := s.homeAnchor[t.ID]; a != nil && a.task == t && a.level <= s.H && !a.done {
 			s.release(a)
 		}
 		for _, sink := range s.outArrows[t.ID] {

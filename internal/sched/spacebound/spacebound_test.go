@@ -1,6 +1,7 @@
 package spacebound
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/ndflow/ndflow/internal/core"
@@ -135,6 +136,114 @@ func TestSchedulerRunsTinyProgram(t *testing.T) {
 	}
 	if s.Stats.Anchors < 1 {
 		t.Fatal("no anchors created")
+	}
+}
+
+// TestInitRejectsInvalidSpec: Init validates the machine spec before
+// building topology state, so a hand-built machine with a malformed spec
+// fails loudly instead of mis-mapping processors.
+func TestInitRejectsInvalidSpec(t *testing.T) {
+	a := core.NewStrand("a", 1, nil, nil, nil)
+	b := core.NewStrand("b", 1, nil, nil, nil)
+	p, err := core.NewProgram(core.NewSeq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &pmh.Machine{Spec: pmh.Spec{ProcsPerL1: 0, Caches: []pmh.CacheSpec{{Size: 8, Fanout: 2, MissCost: 1}}}}
+	s := New(Config{})
+	if err := s.Init(&sim.Ctx{Graph: g, Tracker: core.NewTracker(g), Machine: bad}); err == nil {
+		t.Fatal("invalid spec accepted by Init")
+	}
+}
+
+// randomProgram builds a random spawn tree whose strands carry random
+// footprints over a small address space (the same shape as internal/
+// core's quick-test generator), so subtree sizes straddle the σ-budgets
+// of testSpec's caches and every anchoring path — multi-level anchors,
+// skip-level placement, fallbacks — gets exercised.
+func randomProgram(t *testing.T, r *rand.Rand) *core.Graph {
+	var build func(depth int) *core.Node
+	build = func(depth int) *core.Node {
+		if depth == 0 || r.Intn(4) == 0 {
+			lo := int64(r.Intn(256))
+			return core.NewStrand("s", int64(1+r.Intn(9)),
+				footprint.Single(lo, lo+int64(r.Intn(16))),
+				footprint.Single(lo, lo+int64(1+r.Intn(16))),
+				nil)
+		}
+		kids := 2 + r.Intn(2)
+		children := make([]*core.Node, kids)
+		for i := range children {
+			children[i] = build(depth - 1)
+		}
+		switch r.Intn(3) {
+		case 0:
+			return core.NewSeq(children...)
+		case 1:
+			return core.NewPar(children...)
+		default:
+			return core.NewFire("F", children[0], core.NewSeq(children[1:]...))
+		}
+	}
+	root := build(4)
+	if root.IsLeaf() {
+		root = core.NewSeq(root, core.NewStrand("pad", 1, nil, footprint.Single(0, 4), nil))
+	}
+	p, err := core.NewProgram(root, core.RuleSet{"F": {core.R("1", core.FullDep, "1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestQuickNoAnchorLeaks is the anchor-leak detector: after any
+// successful space-bounded simulation, every anchor must have been
+// released — all cacheUsed budget returned and every clusterLoad count
+// back at zero (the memory root's clusters excepted: the root anchor
+// spans the whole machine and is never released, matching release's
+// level ≤ H guard).
+func TestQuickNoAnchorLeaks(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomProgram(t, r)
+		m, err := pmh.New(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{})
+		res, err := sim.Run(g, m, s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Strands != len(g.P.Leaves) {
+			t.Fatalf("seed %d: executed %d of %d strands", seed, res.Strands, len(g.P.Leaves))
+		}
+		for level := range s.cacheUsed {
+			for idx, used := range s.cacheUsed[level] {
+				if used != 0 {
+					t.Errorf("seed %d: cacheUsed[L%d][%d] = %d words leaked", seed, level+1, idx, used)
+				}
+			}
+		}
+		// clusterLoad[H] holds the memory root's permanent allocation.
+		for level := 0; level < s.H; level++ {
+			for idx, load := range s.clusterLoad[level] {
+				if load != 0 {
+					t.Errorf("seed %d: clusterLoad[%d][%d] = %d anchors leaked", seed, level, idx, load)
+				}
+			}
+		}
+		if t.Failed() {
+			return
+		}
 	}
 }
 

@@ -97,7 +97,17 @@ func (q *eventQueue) Pop() interface{} {
 // and returns timing and cache statistics. Strand Run closures are NOT
 // invoked — the simulation is purely about cost, so programs can be
 // simulated at sizes where executing the numerics would be wasteful.
+//
+// Every run starts from a cold machine: Run resets the machine's cache
+// contents and counters before simulating, so a Machine can be reused
+// across runs and each Result reports exactly that run's accesses and
+// misses. (Machine counters are lifetime totals; without the reset,
+// every Result after the first would absorb the previous runs' counts.)
 func Run(g *core.Graph, machine *pmh.Machine, sched Scheduler) (*Result, error) {
+	if err := machine.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	machine.Reset()
 	ctx := &Ctx{Graph: g, Exec: g.Exec(), Tracker: core.NewTracker(g), Machine: machine}
 	if err := sched.Init(ctx); err != nil {
 		return nil, err
@@ -112,7 +122,6 @@ func Run(g *core.Graph, machine *pmh.Machine, sched Scheduler) (*Result, error) 
 	for p := range idle {
 		idle[p] = true
 	}
-	running := 0
 
 	assign := func() {
 		for {
@@ -131,7 +140,6 @@ func Run(g *core.Graph, machine *pmh.Machine, sched Scheduler) (*Result, error) 
 					cost += machine.Access(p, w)
 				})
 				idle[p] = false
-				running++
 				res.BusyTime[p] += cost
 				res.Work += leaf.Work
 				seq++
@@ -149,7 +157,6 @@ func Run(g *core.Graph, machine *pmh.Machine, sched Scheduler) (*Result, error) 
 		e := heap.Pop(&queue).(*event)
 		now = e.time
 		idle[e.proc] = true
-		running--
 		if err := ctx.Tracker.Complete(e.leaf); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}

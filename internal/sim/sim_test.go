@@ -97,6 +97,65 @@ func TestRunDetectsIncompleteExecution(t *testing.T) {
 	}
 }
 
+// TestMachineReuseIdenticalResults is the regression test for the
+// cumulative-counter bug: machine.Accesses()/Misses(i) are lifetime
+// totals, so reusing one Machine across runs used to inflate every
+// Result after the first. Run resets the machine, so repeated runs of
+// the same program on one machine must report identical Results.
+func TestMachineReuseIdenticalResults(t *testing.T) {
+	build := func() *core.Graph {
+		a := core.NewStrand("a", 5, nil, footprint.Single(0, 6), nil)
+		b := core.NewStrand("b", 7, footprint.Single(0, 6), footprint.Single(6, 10), nil)
+		c := core.NewStrand("c", 3, footprint.Single(6, 10), nil, nil)
+		p, err := core.NewProgram(core.NewSeq(a, b, c), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.MustRewrite(p)
+	}
+	m := machine(t)
+	var first *Result
+	for rep := 0; rep < 3; rep++ {
+		res, err := Run(build(), m, &serialScheduler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AccessOps != 20 {
+			t.Fatalf("rep %d: AccessOps = %d, want 20 (this run's accesses only)", rep, res.AccessOps)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.Makespan != first.Makespan || res.AccessOps != first.AccessOps {
+			t.Fatalf("rep %d differs: makespan %d vs %d, accesses %d vs %d",
+				rep, res.Makespan, first.Makespan, res.AccessOps, first.AccessOps)
+		}
+		for i := range res.Misses {
+			if res.Misses[i] != first.Misses[i] {
+				t.Fatalf("rep %d: misses[%d] = %d, first run %d", rep, i, res.Misses[i], first.Misses[i])
+			}
+		}
+	}
+}
+
+// TestRunRejectsInvalidSpec: a machine carrying a malformed spec (here
+// hand-built, bypassing pmh.New's validation) must be rejected up front
+// instead of silently mis-mapping processors to caches.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	a := core.NewStrand("a", 1, nil, nil, nil)
+	b := core.NewStrand("b", 1, nil, nil, nil)
+	p, err := core.NewProgram(core.NewSeq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustRewrite(p)
+	bad := &pmh.Machine{Spec: pmh.Spec{ProcsPerL1: 0, Caches: []pmh.CacheSpec{{Size: 8, Fanout: 2, MissCost: 1}}}}
+	if _, err := Run(g, bad, &serialScheduler{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
 type stuckScheduler struct{}
 
 func (*stuckScheduler) Init(*Ctx) error      { return nil }

@@ -190,6 +190,18 @@ type Submission = exec.Run
 // down with Engine.Close.
 func NewEngine(workers int) *Engine { return exec.NewEngine(workers) }
 
+// NewLocalityEngine starts an engine whose workers are grouped into cache
+// domains shaped like a real machine (pmh.DefaultSpec at the given worker
+// count): victim selection steals nearest-first — same cache domain, then
+// sibling domains, then the whole pool — and tasks whose compiled
+// footprint σ-fits a domain's cache are anchored to it, the online
+// analogue of the paper's space-bounded scheduler (§4). See DESIGN.md's
+// "exec: locality-aware scheduling" section; internal/exec.NewLocalityEngine
+// accepts an explicit machine spec and σ.
+func NewLocalityEngine(workers int) (*Engine, error) {
+	return exec.NewLocalityEngine(workers, pmh.Spec{}, 0)
+}
+
 var (
 	defaultEngineOnce sync.Once
 	defaultEngine     *Engine

@@ -169,6 +169,30 @@ func TestEngineThroughFacade(t *testing.T) {
 	}
 }
 
+func TestLocalityEngineThroughFacade(t *testing.T) {
+	var runs atomic.Int32
+	body := func() { runs.Add(1) }
+	a := ndflow.Strand("a", 1, nil, ndflow.Words(0, 4), body)
+	b := ndflow.Strand("b", 1, ndflow.Words(0, 4), nil, body)
+	p, err := ndflow.NewProgram(ndflow.Seq(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ndflow.NewLocalityEngine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 3; i++ {
+		if err := e.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := runs.Load(); got != 6 {
+		t.Fatalf("strand bodies ran %d times, want 6", got)
+	}
+}
+
 func TestDOTThroughFacade(t *testing.T) {
 	a := ndflow.Strand("a", 1, nil, nil, nil)
 	b := ndflow.Strand("b", 1, nil, nil, nil)
