@@ -1,0 +1,72 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON array, one object per benchmark result line:
+//
+//	go test -run '^$' -bench Dyn -benchtime=0.2s . | benchjson > BENCH.json
+//
+// Each object carries the benchmark name (GOMAXPROCS suffix stripped),
+// the iteration count, and every reported metric keyed by its unit
+// (ns/op, B/op, allocs/op, plus any ReportMetric extras such as
+// strands/s). CI uses it to emit the per-PR benchmark trajectory
+// artifact, so numbers live in a diffable file instead of only in log
+// text and commit messages.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		metrics := make(map[string]float64)
+		for k := 2; k+1 < len(f); k += 2 {
+			v, err := strconv.ParseFloat(f[k], 64)
+			if err != nil {
+				continue
+			}
+			metrics[f[k+1]] = v
+		}
+		results = append(results, result{Name: name, Iters: iters, Metrics: metrics})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -212,6 +212,8 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 			run  func(s int) error
 		}{"engine-locality", func(s int) error { return locEng.Run(graphs[s].P) }})
 	}
+	var progs []*dyn.Program
+	var warmRuns, warmHits uint64
 	if dynMode {
 		// The online runtime replaying the same strand closures through
 		// Spawn/Future gating on the shared engine: what the same serving
@@ -231,6 +233,26 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 			name string
 			run  func(s int) error
 		}{"dyn-replay", func(s int) error { return dyn.Run(eng, roots[s]) }})
+
+		// The same load through the adaptive-replay JIT: each submitter's
+		// Program is climbed past the observe/record ladder outside the
+		// clock (the cold cost the dyn-replay row already prices), so the
+		// measured runs are warm shape-cache hits on the compiled engine.
+		progs = make([]*dyn.Program, submitters)
+		for s := range progs {
+			progs[s] = dyn.NewProgram(roots[s])
+			for i := 0; i < 4; i++ {
+				if err := progs[s].Run(eng); err != nil {
+					return nil, err
+				}
+			}
+			warmRuns += progs[s].Stats().Runs
+			warmHits += progs[s].Stats().Hits
+		}
+		modes = append(modes, struct {
+			name string
+			run  func(s int) error
+		}{"dyn-jit", func(s int) error { return progs[s].Run(eng) }})
 	}
 	for _, mode := range modes {
 		wall, allocs, bytes, err := drive(mode.run, submitters, repeats)
@@ -243,6 +265,28 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 			fmt.Sprintf("%.1f", allocs), fmt.Sprintf("%.0f", bytes))
 	}
 	t.Note("engine amortizes Rewrite+Compile, trackers and worker spawn across runs; spawn-per-run pays all three each time")
+	if dynMode {
+		var st dyn.ProgramStats
+		compiled := 0
+		for _, p := range progs {
+			s := p.Stats()
+			st.Runs += s.Runs
+			st.Hits += s.Hits
+			st.Records += s.Records
+			st.Divergences += s.Divergences
+			st.Vetoes += s.Vetoes
+			if p.Compiled() {
+				compiled++
+			}
+		}
+		mRuns, mHits := st.Runs-warmRuns, st.Hits-warmHits
+		hitRate := 0.0
+		if mRuns > 0 {
+			hitRate = 100 * float64(mHits) / float64(mRuns)
+		}
+		t.Note("dyn-jit: %d/%d shapes compiled after warm-up; measured window %d/%d runs on the compiled path (%.1f%% hit rate), %d records, %d divergences, %d vetoes",
+			compiled, len(progs), mHits, mRuns, hitRate, st.Records, st.Divergences, st.Vetoes)
+	}
 	if workers == 1 {
 		t.Note("workers=1: the spawn-per-run baseline degenerates to replaying the compiled serial schedule")
 		t.Note("(no pool, no tracker, no spawn) — compare engines at -workers ≥ 2 for the serving comparison")

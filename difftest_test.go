@@ -228,14 +228,17 @@ func TestRuntimesBitIdentical(t *testing.T) {
 	defer locEng.Close()
 	runtimes := []struct {
 		name string
-		run  func(g *core.Graph) error
+		// idemOnly restricts the runtime to idempotent cases: runtimes
+		// that execute the same instance more than once.
+		idemOnly bool
+		run      func(g *core.Graph) error
 	}{
-		{"elision", exec.RunElision},
-		{"random-topo", func(g *core.Graph) error { return exec.RunRandomTopo(g, 99) }},
-		{"reverse-greedy", exec.RunReverseGreedy},
-		{"mutex-4", func(g *core.Graph) error { return exec.RunParallelMutex(g, 4) }},
-		{"lockfree-4", func(g *core.Graph) error { return exec.RunParallel(g, 4) }},
-		{"engine", func(g *core.Graph) error {
+		{"elision", false, exec.RunElision},
+		{"random-topo", false, func(g *core.Graph) error { return exec.RunRandomTopo(g, 99) }},
+		{"reverse-greedy", false, exec.RunReverseGreedy},
+		{"mutex-4", false, func(g *core.Graph) error { return exec.RunParallelMutex(g, 4) }},
+		{"lockfree-4", false, func(g *core.Graph) error { return exec.RunParallel(g, 4) }},
+		{"engine", false, func(g *core.Graph) error {
 			r, err := eng.Submit(g)
 			if err != nil {
 				return err
@@ -246,16 +249,34 @@ func TestRuntimesBitIdentical(t *testing.T) {
 		// Spawn/SpawnAfter/Future gating (dyn.Replay), with the DAG
 		// revealed to the scheduler one task at a time. Shares the
 		// engine's workers and deques with the compiled submissions.
-		{"dyn", func(g *core.Graph) error { return dyn.RunGraph(eng, g) }},
+		{"dyn", false, func(g *core.Graph) error { return dyn.RunGraph(eng, g) }},
 		// The locality-aware engine: anchored strands detour through
 		// cache-domain mailboxes and victim selection walks nearest-first,
 		// but the schedule must still be a legal execution of the DAG.
-		{"locality-4", func(g *core.Graph) error {
+		{"locality-4", false, func(g *core.Graph) error {
 			r, err := locEng.Submit(g)
 			if err != nil {
 				return err
 			}
 			return r.Wait()
+		}},
+		// The adaptive-replay JIT (ninth runtime): the same dynamic
+		// program run until its shape compiles, then once more through
+		// the compiled engine. Restricted to idempotent cases because the
+		// ladder re-executes one instance (observe ×2, record, replay).
+		{"dyn-jit", true, func(g *core.Graph) error {
+			eg := g.Exec()
+			p := dyn.NewProgram(dyn.Replay(eg, dyn.StrandDeps(eg)))
+			for i := 0; i < 4; i++ {
+				if err := p.Run(eng); err != nil {
+					return err
+				}
+			}
+			st := p.Stats()
+			if !p.Compiled() || st.Hits == 0 || st.Divergences > 0 {
+				return fmt.Errorf("shape cache never served a warm run: %+v", st)
+			}
+			return nil
 		}},
 	}
 	for _, c := range diffCases() {
@@ -263,6 +284,9 @@ func TestRuntimesBitIdentical(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%s", c.name, model), func(t *testing.T) {
 				var want []uint64
 				for _, rt := range runtimes {
+					if rt.idemOnly && !c.idempotent {
+						continue
+					}
 					g, outs, err := c.build(model)
 					if err != nil {
 						t.Fatalf("%s: build: %v", rt.name, err)

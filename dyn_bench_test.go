@@ -64,6 +64,87 @@ func BenchmarkDynVsCompiled(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
 	})
+
+	// The adaptive-replay JIT on the same shape: warmed past the
+	// observe/record ladder, so the measured loop is all compiled-engine
+	// replays (plus the replay-mode shape verification in each strand).
+	// This is the "warm repeated-shape dyn runs within 1.25× of the
+	// compiled engine" acceptance gauge.
+	b.Run("jit", func(b *testing.B) {
+		e := exec.NewEngine(0)
+		defer e.Close()
+		deps := dyn.StrandDeps(eg)
+		p := dyn.NewProgram(dyn.Replay(eg, deps))
+		for i := 0; i < 6; i++ { // observe ×2, record, warm replays
+			if err := p.Run(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !p.Compiled() {
+			b.Fatalf("shape cache never compiled: %+v", p.Stats())
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.Run(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+		if st := p.Stats(); st.Divergences > 0 || st.Hits < uint64(b.N) {
+			b.Fatalf("warm loop fell off the compiled path: %+v", st)
+		}
+	})
+}
+
+// BenchmarkDynJITWarmup prices the ladder itself: "observe" is a live run
+// with shape observation enabled (the overhead every cold Program run
+// pays), and "cycle" is a complete cold-to-warm climb — two observed
+// runs, one recording run (captures and compiles the DAG), one replay —
+// per iteration, on a fresh Program each time.
+func BenchmarkDynJITWarmup(b *testing.B) {
+	g := fwSchedGraph(b, 64, 4)
+	eg := g.Exec()
+	deps := dyn.StrandDeps(eg)
+
+	b.Run("observe", func(b *testing.B) {
+		e := exec.NewEngine(0)
+		defer e.Close()
+		// An unreachable threshold keeps every run in the observing state
+		// without ever recording or compiling.
+		p := dyn.NewProgram(dyn.Replay(eg, deps), dyn.JITConfig{Threshold: 1 << 30})
+		for i := 0; i < 3; i++ {
+			if err := p.Run(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.Run(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cycle", func(b *testing.B) {
+		e := exec.NewEngine(0)
+		defer e.Close()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := dyn.NewProgram(dyn.Replay(eg, deps))
+			for r := 0; r < 4; r++ {
+				if err := p.Run(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !p.Compiled() {
+				b.Fatalf("cycle %d never compiled: %+v", i, p.Stats())
+			}
+		}
+	})
 }
 
 // BenchmarkDynFib measures the recursive spawn/Get/Put path — every task

@@ -90,6 +90,38 @@ func (g *Graph) addArrow(from, to *Node) error {
 	return nil
 }
 
+// BuildGraph compiles an event graph directly from a frozen program and
+// an explicit arrow set, bypassing the DAG Rewriting System. This is the
+// entry point for producers that already know every dataflow edge —
+// recorded executions of the dynamic runtime (see internal/dyn's replay
+// compilation), generators, and tests that need precise degenerate
+// topologies (single strand, extreme fan-in) without inventing fire
+// rules for them. Arrows are validated like the DRS's own (no
+// self-dependencies, no arrows between nested tasks), duplicates are
+// removed, and compilation fails if the combined graph has a cycle.
+func BuildGraph(p *Program, arrows []Arrow) (*Graph, error) {
+	if p == nil {
+		return nil, fmt.Errorf("nil program")
+	}
+	g := newGraph(p)
+	for _, a := range arrows {
+		if a.From == nil || a.To == nil {
+			return nil, fmt.Errorf("arrow with nil endpoint")
+		}
+		if a.From.ID < 0 || a.From.ID >= len(p.Nodes) || p.Nodes[a.From.ID] != a.From ||
+			a.To.ID < 0 || a.To.ID >= len(p.Nodes) || p.Nodes[a.To.ID] != a.To {
+			return nil, fmt.Errorf("arrow endpoint %q → %q is not a node of the program", a.From.Label, a.To.Label)
+		}
+		if err := g.addArrow(a.From, a.To); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 // finish sort-deduplicates the arrows and compiles the event graph,
 // verifying acyclicity.
 func (g *Graph) finish() error {

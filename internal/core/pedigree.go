@@ -75,6 +75,47 @@ func (p Pedigree) String() string {
 	return strings.Join(parts, ".")
 }
 
+// Pedigree hashing. The dynamic runtime identifies a spawned task by its
+// position in the unfolding spawn tree — exactly the information a
+// Pedigree carries — but materializing an []int per task would dominate
+// the cost of spawning it. PedigreeRoot/PedigreeChild are the incremental
+// form: a parent's 64-bit pedigree hash plus a 1-based child index yields
+// the child's hash with two multiplies, so a task's pedigree hash is
+// available for free as the tree unfolds. Hash(p) is the offline form and
+// agrees with the incremental one component for component.
+//
+// The constants are the splitmix64 increments; the mix is not
+// cryptographic, only well-distributed — shape keys built from it are
+// verified again by the replay guard before anything irreversible
+// happens on their account.
+
+const (
+	pedigreeSeed = 0x9e3779b97f4a7c15
+	pedigreeMul  = 0xbf58476d1ce4e5b9
+)
+
+// PedigreeRoot returns the pedigree hash of the root task (the empty
+// pedigree).
+func PedigreeRoot() uint64 { return pedigreeSeed }
+
+// PedigreeChild folds a 1-based child index (Wildcard is not meaningful
+// here) into a parent's pedigree hash, returning the child's hash.
+func PedigreeChild(parent uint64, index int) uint64 {
+	h := parent ^ (uint64(index) + pedigreeSeed)
+	h *= pedigreeMul
+	return h ^ (h >> 29)
+}
+
+// Hash returns the pedigree's hash under the incremental scheme: the
+// result of folding each component into PedigreeRoot in order.
+func (p Pedigree) Hash() uint64 {
+	h := PedigreeRoot()
+	for _, idx := range p {
+		h = PedigreeChild(h, idx)
+	}
+	return h
+}
+
 // Equal reports whether two pedigrees are identical.
 func (p Pedigree) Equal(q Pedigree) bool {
 	if len(p) != len(q) {

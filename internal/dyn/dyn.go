@@ -18,16 +18,24 @@
 // interleave with compiled-graph runs in one shared worker pool. Task
 // bodies run inline on worker goroutines — a task that never waits costs
 // a deque push/pop, a frame from a pool and a few counter updates, with
-// no goroutine switch at all. A strand that must wait (Get on an
-// unresolved future, Sync with stolen children) suspends as a
+// no goroutine switch at all; the last child a body spawns skips even the
+// deque round trip (it parks in the frame's pend slot and chains as the
+// worker's next task when the body returns). A strand that must wait
+// (Get on an unresolved future, Sync with stolen children) suspends as a
 // continuation: its frame parks on the future's waiter list guarded by
 // one atomic counter — the dynamic analogue of the wake graph's counters
 // — and its goroutine hands the worker identity to a spare and parks.
 // Resolving the counter re-enqueues the frame's task word; the worker
 // that pops it donates its identity back to the parked goroutine and
 // retires, so suspended continuations never shrink the pool's
-// parallelism. Frames, waiter nodes and run state are pooled, so the
-// per-task allocation cost is amortized O(1).
+// parallelism. Frames are allocated a slab at a time, pooled, and reused
+// in place, so the per-task allocation cost is amortized O(1).
+//
+// Recurring dynamic programs can stop paying discovery prices entirely:
+// a Program handle observes the shape of each run and, when the same
+// shape recurs, records the unfolded DAG once and routes later runs
+// through the compiled engine — see jit.go (adaptive replay
+// compilation).
 //
 // A dynamic program that waits on a future nobody resolves deadlocks like
 // any Go program that blocks forever — the runtime does not detect it. A
@@ -89,6 +97,14 @@ type frame struct {
 	wait atomic.Int32
 	idx  int32 // index in the run's frame table; task words carry it
 
+	// pend is the last child the body spawned, not yet on any deque: the
+	// next Spawn flushes it to the deque and takes its place, and a body
+	// that returns chains it as the worker's next task — so per spawned
+	// child the common case pays one deque operation, not a push AND a
+	// pop with its fence. -1 when empty. Flushed before any suspension
+	// (Sync, Get park), since the parked strand may depend on the child.
+	pend int64
+
 	x      int64 // SpawnFor argument
 	run    *run
 	parent *frame
@@ -99,8 +115,11 @@ type frame struct {
 	// suspension the goroutine keeps its Worker and rebinds the slot a
 	// donor passes through sem.
 	w   *exec.Worker
-	ctx Context  // points back at this frame; handed to the body
-	sem chan int // buffered(1): donated worker slot for the parked goroutine
+	ctx Context // points back at this frame; handed to the body
+	// sem is the parked goroutine's donation channel, buffered(1).
+	// Allocated lazily on the first suspension — the majority of frames
+	// never park and never pay for it.
+	sem chan int
 
 	// wnb and wn are the frame's waiter-node slab: one node per future
 	// the frame is registered on. A frame arms at most one wait phase at
@@ -111,6 +130,20 @@ type frame struct {
 	// gating — use the inline array; wider phases spill to wn.
 	wnb [2]waiter
 	wn  []waiter
+
+	// Shape-observation state, maintained only when the run belongs to a
+	// Program (run.observing) — see jit.go. ph is the frame's pedigree
+	// hash (position in the unfolding spawn tree), eh the rolling hash of
+	// the structural events its body performed, veh the verification
+	// variant that also folds in body code pointers (recording runs
+	// only), and spawnN the number of children spawned this life (the
+	// pedigree ordinal of the next child). rec is the frame's recording
+	// entry during a recording run.
+	ph     uint64
+	eh     uint64
+	veh    uint64
+	spawnN int32
+	rec    *recStrand
 }
 
 // nodes returns k registration nodes for the next wait phase, growing the
@@ -125,24 +158,76 @@ func (fr *frame) nodes(k int) []waiter {
 	return fr.wn[:k]
 }
 
+// publishChild publishes a freshly spawned child's task word with
+// last-spawn chaining: the word parks in the frame's pend slot and the
+// sibling previously parked there (if any) goes onto the deque. The pend
+// word is flushed by the flush points listed on the field.
+func (fr *frame) publishChild(word int64) {
+	if p := fr.pend; p >= 0 {
+		fr.w.Push(p)
+	}
+	fr.pend = word
+}
+
+// flushPend publishes a parked pend word onto the deque. Must be called
+// before the body can suspend — a hidden child is unschedulable, and the
+// suspension may be waiting for exactly that child.
+func (fr *frame) flushPend() {
+	if p := fr.pend; p >= 0 {
+		fr.pend = -1
+		fr.w.Push(p)
+	}
+}
+
+// ensureSem allocates the frame's donation channel on first suspension.
+// Must run before the frame's parked state can be published to a waker.
+func (fr *frame) ensureSem() {
+	if fr.sem == nil {
+		fr.sem = make(chan int, 1)
+	}
+}
+
 // Context is the capability handed to every task body: the handle for
 // spawning children, syncing on them, and resolving futures from task
 // context. It must not be retained past the body's return or used from
 // goroutines the runtime did not call the body on.
 type Context struct {
 	fr *frame
+	// rh is the replay-mode event hash. A Context with a nil fr belongs
+	// to a strand being replayed through the compiled engine by a
+	// Program's shape cache (see jit.go): structural calls verify the
+	// recorded shape instead of scheduling anything, and rh accumulates
+	// the verification hash compared against the recording when the body
+	// returns.
+	rh uint64
 }
+
+// Replaying reports whether the context belongs to a replay-compiled
+// execution (see jit.go): structural calls are shape checks, not
+// scheduling operations. Bodies that reach into runtime internals (bulk
+// spawners like Replay) must branch on it; ordinary bodies need not care.
+func (c *Context) Replaying() bool { return c.fr == nil }
 
 // run is one in-flight dynamic computation: the engine-facing DynRun. It
 // owns the frame table (task words carry indices, not pointers, so the
 // deques never hold the only reference to a frame) and the run-level
-// DynTracker whose pending count is the termination latch.
+// DynTracker whose single root charge is the termination latch.
 type run struct {
 	eng  *exec.Engine
 	r    *exec.Run
 	slot int32
 	root *frame
 	trk  core.DynTracker
+
+	// prog, observing and recording tie the run to an adaptive-replay
+	// Program (jit.go): observing folds per-frame shape hashes into the
+	// shard accumulators, recording additionally captures the unfolded
+	// DAG into recorder. All nil/false for plain Run/Submit runs.
+	prog      *Program
+	observing bool
+	recording bool
+	recorder  *recorder
+	haccG     uint64 // shape-key accumulator for worker-less frees, under mu
 
 	// tab is the frame table: a copy-on-write snapshot indexed by the
 	// frame half of a task word. Readers load it lock-free after popping
@@ -161,14 +246,19 @@ type run struct {
 	shards []frameShard
 }
 
-// frameShard is one slot's free-index cache.
+// frameShard is one slot's free-index cache plus its slice of the run's
+// shape-key accumulator (an atomic only because the run's Retire reads
+// all shards from one goroutine; each worker adds to its own).
 type frameShard struct {
 	free []int32
+	hacc atomic.Uint64
 }
 
 // frameBatch is the refill/spill granularity between a shard and the
-// global free list: one mutex acquisition amortizes over this many
-// frame allocations or frees.
+// global free list — one mutex acquisition amortizes over this many
+// frame allocations or frees — and the slab size of frame allocation:
+// a growing run mints frames frameBatch at a time from one backing
+// array instead of one heap object per task.
 const frameBatch = 32
 
 var runPool sync.Pool
@@ -198,8 +288,22 @@ func newRun(e *exec.Engine) *run {
 // pool, rewinding the tracker by generation (O(1)). The engine calls it
 // from Run.Wait once it holds no reference to the run, so every
 // submission path — Run and Submit alike — recycles frames, tables and
-// tracker storage.
+// tracker storage. A run that belongs to a Program reports its shape key
+// (and a finished recording) back to the program first.
 func (r *run) Retire() {
+	if p := r.prog; p != nil {
+		key := r.haccG
+		r.haccG = 0
+		for i := range r.shards {
+			key += r.shards[i].hacc.Swap(0)
+		}
+		var rec *recorder
+		if r.recording {
+			rec = r.recorder
+		}
+		r.prog, r.observing, r.recording, r.recorder = nil, false, false, nil
+		p.runRetired(key, rec)
+	}
 	r.trk.Reset()
 	r.eng, r.r, r.root = nil, nil, nil
 	runPool.Put(r)
@@ -207,12 +311,12 @@ func (r *run) Retire() {
 
 // newFrame takes a frame for fn under parent from the run's table: a free
 // index reuses its resident frame in place, growing the copy-on-write
-// table only when every frame is live. With a worker identity (w non-nil,
-// the spawner's) the index comes from that slot's shard — no lock, no
-// atomics — refilled from the global list one frameBatch at a time. Field
-// initialization happens after the index operation, before the frame's
-// word is published (the deque's atomics order it for the worker that
-// pops the word).
+// table by one slab only when every frame is live. With a worker identity
+// (w non-nil, the spawner's) the index comes from that slot's shard — no
+// lock, no atomics — refilled from the global list one frameBatch at a
+// time. Field initialization happens after the index operation, before
+// the frame's word is published (the deque's atomics order it for the
+// worker that pops the word).
 //
 // No state store is needed: a frame is never retired as stateParked
 // (every park is matched by a resume that overwrites it), and stateParked
@@ -221,14 +325,12 @@ func (r *run) newFrame(w *exec.Worker, parent *frame, fn Task) *frame {
 	fr := r.takeFrame(w)
 	fr.fn = fn
 	fr.parent = parent
-	r.trk.Spawned()
 	return fr
 }
 
-// takeFrame performs newFrame's index operation alone, leaving the
-// spawn-side counter charges (parent join guard aside, the run's pending
-// count) to the caller — the hook bulk spawners like Replay use to charge
-// a whole batch of children with one atomic add each.
+// takeFrame performs newFrame's index operation alone — the hook bulk
+// spawners like Replay and SpawnForRange use to assemble children with
+// their own field wiring.
 func (r *run) takeFrame(w *exec.Worker) *frame {
 	if w != nil {
 		sh := &r.shards[w.Self()]
@@ -242,7 +344,9 @@ func (r *run) takeFrame(w *exec.Worker) *frame {
 }
 
 // newFrameSlow refills the caller's shard from the global free list (one
-// batch per lock) or grows the table, and returns one frame.
+// batch per lock), or grows the table by one slab of frameBatch frames —
+// a single allocation whose spare frames seed the free list — and
+// returns one frame.
 func (r *run) newFrameSlow(w *exec.Worker) *frame {
 	r.mu.Lock()
 	if n := len(r.free); n > 0 {
@@ -263,27 +367,39 @@ func (r *run) newFrameSlow(w *exec.Worker) *frame {
 		r.mu.Unlock()
 		return fr
 	}
-	fr := &frame{sem: make(chan int, 1), run: r}
-	fr.ctx.fr = fr
-	fr.state.Store(stateNew) // the zero value; spelled out once for the record
-	fr.kids.Store(1)         // the guard; free frames always hold it (see bodyDone)
+	// Grow by one slab. Extending into spare table capacity is safe:
+	// readers hold older, shorter snapshots and never index past their
+	// own length.
+	slab := make([]frame, frameBatch)
 	old := *r.tab.Load()
-	if len(old) < cap(old) {
-		// Readers hold older, shorter snapshots and never index past
-		// their own length, so extending into spare capacity is safe.
-		next := old[:len(old)+1]
-		next[len(old)] = fr
-		fr.idx = int32(len(old))
-		r.tab.Store(&next)
-	} else {
-		next := make([]*frame, len(old)+1, 2*len(old)+8)
+	next := old
+	if len(old)+frameBatch > cap(old) {
+		next = make([]*frame, len(old), 2*len(old)+frameBatch)
 		copy(next, old)
-		next[len(old)] = fr
-		fr.idx = int32(len(old))
-		r.tab.Store(&next)
+	}
+	base := int32(len(next))
+	for i := range slab {
+		fr := &slab[i]
+		fr.run = r
+		fr.ctx.fr = fr
+		fr.kids.Store(1) // the guard; free frames always hold it (see bodyDone)
+		fr.pend = -1
+		fr.idx = base + int32(i)
+		next = append(next, fr)
+	}
+	r.tab.Store(&next)
+	if w != nil {
+		sh := &r.shards[w.Self()]
+		for i := 1; i < frameBatch; i++ {
+			sh.free = append(sh.free, base+int32(i))
+		}
+	} else {
+		for i := 1; i < frameBatch; i++ {
+			r.free = append(r.free, base+int32(i))
+		}
 	}
 	r.mu.Unlock()
-	return fr
+	return &slab[0]
 }
 
 // freeFrame retires a completed frame: its index returns to the freeing
@@ -292,6 +408,24 @@ func (r *run) newFrameSlow(w *exec.Worker) *frame {
 // word for the frame exists at this point (its last word was consumed by
 // the segment that completed it), so the index cannot be observed stale.
 func (r *run) freeFrame(w *exec.Worker, fr *frame) {
+	if r.observing {
+		// Fold the frame's shape contribution into the run key (see
+		// jit.go) before its accumulators can be reused, and save the
+		// verification hash on the recording entry — the frame may serve
+		// another strand of this same run next.
+		if rs := fr.rec; rs != nil {
+			rs.veh = fr.veh
+			fr.rec = nil
+		}
+		h := foldFrame(fr)
+		if w != nil {
+			r.shards[w.Self()].hacc.Add(h)
+		} else {
+			r.mu.Lock()
+			r.haccG += h
+			r.mu.Unlock()
+		}
+	}
 	fr.fn, fr.xfn, fr.parent, fr.w = nil, nil, nil, nil
 	if w == nil {
 		r.mu.Lock()
@@ -337,6 +471,12 @@ func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
 	} else {
 		fr.xfn(&fr.ctx, fr.x)
 	}
+	if p := fr.pend; p >= 0 {
+		// The last spawned child chains as the worker's next task: no
+		// deque round trip at all for the tail of a spawn chain.
+		fr.pend = -1
+		w.PushChained(p)
+	}
 	return r.bodyDone(fr), false
 }
 
@@ -365,20 +505,19 @@ func (r *run) bodyDone(fr *frame) (rootDone bool) {
 // child a finished or syncing ancestor was waiting for. Runs as a loop on
 // the completing worker, so a deep chain of final syncs costs no stack
 // and no extra task words. Returns true when the cascade completed the
-// root — the whole run is over.
+// root — the whole run is over. Only the root touches the run-level
+// tracker: a task completes strictly after its subtree, so the root's
+// completion is the termination event and per-child global accounting
+// would be redundant atomics on the spawn path.
 func (r *run) completeFrame(w *exec.Worker, fr *frame) bool {
 	for {
 		p := fr.parent
-		done := r.trk.Completed()
 		r.freeFrame(w, fr)
 		if p == nil {
-			if !done {
-				panic("dyn: root frame completed with live frames pending")
+			if !r.trk.Completed() {
+				panic("dyn: root frame completed twice in one generation")
 			}
 			return true
-		}
-		if done {
-			panic("dyn: pending frames drained before the root completed")
 		}
 		if p.kids.Add(-1) != 0 {
 			return false
@@ -407,13 +546,23 @@ func (fr *frame) park() {
 }
 
 // Spawn schedules fn as a child task of the calling strand. The child is
-// immediately stealable; the parent keeps running. Children are joined by
-// Sync or by the implicit sync when the parent's body returns.
+// immediately stealable once the parent performs its next structural call
+// (until then it rides the parent's pend slot); the parent keeps running.
+// Children are joined by Sync or by the implicit sync when the parent's
+// body returns.
 func (c *Context) Spawn(fn Task) {
+	if c.fr == nil {
+		c.rh = mixSpawnV(c.rh, opSpawn, 0, 0, pcOf(fn))
+		return
+	}
 	fr := c.fr
-	child := fr.run.newFrame(fr.w, fr, fn)
+	r := fr.run
+	child := r.newFrame(fr.w, fr, fn)
 	fr.kids.Add(1)
-	fr.w.Push(fr.run.word(child))
+	if r.observing {
+		r.observeSpawn(fr, child, opSpawn, 0, 0, fn)
+	}
+	fr.publishChild(r.word(child))
 }
 
 // SpawnAfter schedules fn as a child task gated on the given futures: the
@@ -425,9 +574,17 @@ func (c *Context) Spawn(fn Task) {
 // before it ever starts, so no goroutine parks. The deps slice is not
 // retained.
 func (c *Context) SpawnAfter(fn Task, deps ...*Future) {
+	if c.fr == nil {
+		c.rh = mixSpawnV(c.rh, opSpawnAfter, 0, len(deps), pcOf(fn))
+		return
+	}
 	fr := c.fr
-	child := fr.run.newFrame(fr.w, fr, fn)
+	r := fr.run
+	child := r.newFrame(fr.w, fr, fn)
 	fr.kids.Add(1)
+	if r.observing {
+		r.observeSpawn(fr, child, opSpawnAfter, 0, len(deps), fn)
+	}
 	c.gate(child, deps)
 }
 
@@ -438,21 +595,60 @@ func (c *Context) SpawnAfter(fn Task, deps ...*Future) {
 // deps slice is not retained, so callers can reuse one scratch slice
 // across a whole loop. Steady-state cost per task: no allocation at all.
 func (c *Context) SpawnFor(fn func(*Context, int64), x int64, deps ...*Future) {
+	if c.fr == nil {
+		c.rh = mixSpawnV(c.rh, opSpawnFor, x, len(deps), pcOf(fn))
+		return
+	}
 	fr := c.fr
-	child := fr.run.newFrame(fr.w, fr, nil)
+	r := fr.run
+	child := r.newFrame(fr.w, fr, nil)
 	child.xfn, child.x = fn, x
 	fr.kids.Add(1)
+	if r.observing {
+		r.observeSpawn(fr, child, opSpawnFor, x, len(deps), fn)
+	}
 	c.gate(child, deps)
+}
+
+// SpawnForRange schedules fn(x) for every x in [lo, hi) as ungated child
+// tasks: the batch form of SpawnFor for dense data-parallel loops. The
+// whole batch arms the parent's join guard with one atomic add and draws
+// its frames from the slab-backed pool, so the per-child cost is the
+// frame wiring and one deque publication — none of the per-call counter
+// traffic of spawning the children one at a time.
+func (c *Context) SpawnForRange(fn func(*Context, int64), lo, hi int64) {
+	if c.fr == nil {
+		pc := pcOf(fn)
+		for x := lo; x < hi; x++ {
+			c.rh = mixSpawnV(c.rh, opSpawnFor, x, 0, pc)
+		}
+		return
+	}
+	if hi <= lo {
+		return
+	}
+	fr := c.fr
+	r := fr.run
+	fr.kids.Add(int32(hi - lo))
+	for x := lo; x < hi; x++ {
+		child := r.takeFrame(fr.w)
+		child.xfn, child.x = fn, x
+		child.parent = fr
+		if r.observing {
+			r.observeSpawn(fr, child, opSpawnFor, x, 0, fn)
+		}
+		fr.publishChild(r.word(child))
+	}
 }
 
 // gate publishes a freshly spawned child: immediately when nothing gates
 // it, otherwise parked behind its wait counter armed with the unresolved
 // dependency count (plus the guard this call drops).
 func (c *Context) gate(child *frame, deps []*Future) {
-	w := c.fr.w
+	fr := c.fr
 	r := child.run
 	if len(deps) == 0 {
-		w.Push(r.word(child))
+		fr.publishChild(r.word(child))
 		return
 	}
 	child.wait.Store(int32(len(deps)) + 1)
@@ -463,10 +659,13 @@ func (c *Context) gate(child *frame, deps []*Future) {
 		n.fr = child
 		if !f.addWaiter(n) {
 			settled++ // already resolved; its decrement will never come
+			if r.recording {
+				r.recorder.dep(child.rec, f)
+			}
 		}
 	}
 	if child.wait.Add(-settled) == 0 {
-		w.Push(r.word(child))
+		fr.publishChild(r.word(child))
 	}
 }
 
@@ -475,7 +674,27 @@ func (c *Context) gate(child *frame, deps []*Future) {
 // still live, the strand suspends and its worker moves on to other work;
 // the last child to finish re-enqueues the continuation.
 func (c *Context) Sync() {
+	if c.fr == nil {
+		// A recorded program never contains a reachable explicit Sync
+		// (recording vetoes them), so replaying into one is a shape
+		// divergence — and a Sync cannot be honored without a frame.
+		panic(errReplayDiverged)
+	}
 	fr := c.fr
+	if r := fr.run; r.observing {
+		fr.eh = mix2(fr.eh, opSync)
+		if r.recording {
+			fr.veh = mix2(fr.veh, opSync)
+			// A mid-body join cannot be expressed as a single compiled
+			// strand; this shape stays on the live runtime.
+			r.recorder.fail()
+		}
+	}
+	fr.flushPend()
+	if fr.kids.Load() == 1 {
+		return // no live children; the guard is ours alone
+	}
+	fr.ensureSem()
 	fr.state.Store(stateParked)
 	if fr.kids.Add(-1) != 0 {
 		fr.park()
@@ -490,12 +709,38 @@ func (c *Context) Sync() {
 // completed. Dynamic tasks share the engine's workers and deques with
 // compiled-graph submissions.
 func Submit(e *exec.Engine, root Task) (*exec.Run, error) {
+	return submitRun(e, nil, root)
+}
+
+// submitRun is Submit plus the Program hookup: a run launched on behalf
+// of a Program observes its shape (and records it when the program's
+// streak says so).
+func submitRun(e *exec.Engine, p *Program, root Task) (*exec.Run, error) {
 	r := newRun(e)
+	if p != nil {
+		r.prog, r.observing = p, true
+		if rec := p.armRecording(); rec != nil {
+			r.recording, r.recorder = true, rec
+		}
+	}
 	r.root = r.newFrame(nil, nil, root)
+	r.trk.Spawned()
+	if r.observing {
+		r.root.ph = core.PedigreeRoot()
+		r.root.eh, r.root.veh, r.root.spawnN = 0, 0, 0
+		if r.recording {
+			r.root.rec = r.recorder.newStrand(-1, r.root)
+		}
+	}
 	er, err := e.SubmitDyn(r)
 	if err != nil {
 		// The engine rejected the run (closed): unwind the bookkeeping so
-		// the pooled state stays consistent.
+		// the pooled state stays consistent. The program is told nothing —
+		// no run happened.
+		if p != nil {
+			p.abortSubmit(r.recording)
+		}
+		r.prog, r.observing, r.recording, r.recorder = nil, false, false, nil
 		r.trk.Completed()
 		r.freeFrame(nil, r.root)
 		r.Retire()

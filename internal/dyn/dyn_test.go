@@ -446,3 +446,85 @@ func TestDoublePutAfterRecoverStillResolved(t *testing.T) {
 		t.Fatalf("resolved value corrupted by recovered double Put: %v, %v", v, ok)
 	}
 }
+
+// TestFramePoolBatchBoundaries walks the frame pool across the
+// frameBatch edges on a single-worker engine, where shard traffic is
+// deterministic: a wide phase holds k frames live at once (slab growth
+// in frameBatch steps), their completions stream k indices back through
+// the freeing shard (spilling half to the global list at every
+// 2*frameBatch crossing), and a second wide phase re-takes them
+// (batched refill). k values straddle every boundary.
+func TestFramePoolBatchBoundaries(t *testing.T) {
+	for _, k := range []int{1, frameBatch - 1, frameBatch, frameBatch + 1,
+		2*frameBatch - 1, 2 * frameBatch, 2*frameBatch + 1, 3*frameBatch + 5} {
+		t.Run(fmt.Sprint(k), func(t *testing.T) {
+			e := exec.NewEngine(1)
+			defer e.Close()
+			var n atomic.Int64
+			body := func(c *Context) {
+				for i := 0; i < k; i++ {
+					c.Spawn(func(c *Context) { n.Add(1) })
+				}
+				c.Sync()
+				c.SpawnForRange(func(c *Context, x int64) { n.Add(1) }, 0, int64(k))
+			}
+			// Two runs per engine: the second reuses the first's pooled
+			// run state, so refill starts from a populated free list
+			// instead of a fresh table.
+			for round := 1; round <= 2; round++ {
+				n.Store(0)
+				if err := Run(e, body); err != nil {
+					t.Fatal(err)
+				}
+				if got := n.Load(); got != int64(2*k) {
+					t.Fatalf("round %d: %d child executions, want %d", round, got, 2*k)
+				}
+			}
+		})
+	}
+}
+
+// TestSpawnChainPendInlining checks last-spawn chaining end to end: a
+// deep chain of single spawns (each body's only child rides the pend
+// slot and chains as the worker's next task) must complete exactly, and
+// interleaving a structural call (which flushes pend to the deque) must
+// not change the result.
+func TestSpawnChainPendInlining(t *testing.T) {
+	e := exec.NewEngine(2)
+	defer e.Close()
+	const depth = 2000
+	var steps atomic.Int64
+	var descend func(c *Context, d int64)
+	descend = func(c *Context, d int64) {
+		steps.Add(1)
+		if d == 0 {
+			return
+		}
+		c.SpawnFor(descend, d-1)
+	}
+	if err := Run(e, func(c *Context) { c.SpawnFor(descend, depth) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := steps.Load(); got != depth+1 {
+		t.Fatalf("chain executed %d steps, want %d", got, depth+1)
+	}
+
+	// A chain that also spawns a sibling before descending: the sibling
+	// is flushed from pend by the second spawn, both run.
+	steps.Store(0)
+	var pair func(c *Context, d int64)
+	pair = func(c *Context, d int64) {
+		steps.Add(1)
+		if d == 0 {
+			return
+		}
+		c.Spawn(func(c *Context) { steps.Add(1) })
+		c.SpawnFor(pair, d-1)
+	}
+	if err := Run(e, func(c *Context) { c.SpawnFor(pair, 500) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := steps.Load(); got != 2*500+1 {
+		t.Fatalf("pair chain executed %d steps, want %d", got, 2*500+1)
+	}
+}

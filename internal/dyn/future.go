@@ -81,25 +81,63 @@ func (f *Future) addWaiter(n *waiter) bool {
 // exact for sequential reuse — including a first Put whose panic was
 // recovered — but two Puts racing from different goroutines are a data
 // race on the value, as for any racing single-assignment violation.)
+//
+// In replay mode (c.Replaying(), see jit.go) Put is a shape check plus a
+// value store: the compiled graph already carries the dependency edges,
+// and re-resolving the recording run's cell is ordered against its
+// replayed readers by those same edges.
 func (f *Future) Put(c *Context, v any) {
+	if c != nil && c.fr == nil {
+		c.rh = mix2(c.rh, opPut)
+		f.value = v
+		if f.head.Load() == resolvedMark {
+			return
+		}
+		// First resolution (a cell created by a replayed body rather than
+		// inherited from the recording run): publish normally so external
+		// TryGet observers and live-run waiters sharing the cell work.
+		f.wake(c, f.head.Swap(resolvedMark))
+		return
+	}
 	if f.head.Load() == resolvedMark {
 		// Detect re-assignment before touching the value: readers of the
 		// resolved future must never observe it change.
 		panic("dyn: Future.Put called twice (futures are single-assignment)")
+	}
+	if c != nil {
+		if r := c.fr.run; r.observing {
+			c.fr.eh = mix2(c.fr.eh, opPut)
+			if r.recording {
+				c.fr.veh = mix2(c.fr.veh, opPut)
+				r.recorder.notePut(f, c.fr.rec.idx)
+			}
+		}
 	}
 	f.value = v
 	old := f.head.Swap(resolvedMark)
 	if old == resolvedMark {
 		panic("dyn: Future.Put called twice (futures are single-assignment)")
 	}
+	f.wake(c, old)
+}
+
+// wake drains a swapped-out waiter list after resolution.
+func (f *Future) wake(c *Context, old *waiter) {
 	for n := old; n != nil; {
 		// Save the link before the decrement: a drained frame may re-arm
 		// (and rewrite this node) the moment its counter reaches zero.
 		next := n.next
 		fr := n.fr
+		if wr := fr.run; wr.recording {
+			// The edge resolver → waiter, by the resolver this recording
+			// saw Put f (vetoes the recording if nobody did). Recorded
+			// before the decrement, while the parked frame's entry is
+			// pinned.
+			wr.recorder.dep(fr.rec, f)
+		}
 		if fr.wait.Add(-1) == 0 {
 			r := fr.run
-			if c != nil && c.fr.run.eng == r.eng {
+			if c != nil && c.fr != nil && c.fr.run.eng == r.eng {
 				// The first woken frame chains as the resolver's next
 				// task (Puts typically resolve at body end); the rest
 				// are stealable immediately.
@@ -119,11 +157,36 @@ func (f *Future) Put(c *Context, v any) {
 // resolves it. The suspension parks the strand's continuation on the
 // future's waiter list behind one atomic counter and releases the worker
 // (see the package comment); a resolved future costs two atomic loads.
+//
+// In replay mode (c.Replaying(), see jit.go) the recording guarantees the
+// future is resolved before this strand starts; finding it unresolved is
+// a shape divergence.
 func (f *Future) Get(c *Context) any {
-	if f.head.Load() == resolvedMark {
+	if c.fr == nil {
+		c.rh = mix2(c.rh, opGet)
+		if f.head.Load() != resolvedMark {
+			panic(errReplayDiverged)
+		}
 		return f.value
 	}
 	fr := c.fr
+	r := fr.run
+	if r.observing {
+		fr.eh = mix2(fr.eh, opGet)
+		if r.recording {
+			fr.veh = mix2(fr.veh, opGet)
+		}
+	}
+	if f.head.Load() == resolvedMark {
+		if r.recording {
+			fr.run.recorder.dep(fr.rec, f)
+		}
+		return f.value
+	}
+	// Publish any hidden child first: the future may be resolved by
+	// exactly the strand parked in the pend slot.
+	fr.flushPend()
+	fr.ensureSem()
 	// Arm the wake counter: the future's pending decrement plus the
 	// guard. The guard drop below decides the race against a concurrent
 	// Put — exactly one side observes zero.
@@ -136,9 +199,17 @@ func (f *Future) Get(c *Context) any {
 		// parked, nobody will decrement. Disarm and continue inline.
 		fr.wait.Store(0)
 		fr.state.Store(stateRunning)
+		if r.recording {
+			r.recorder.dep(fr.rec, f)
+		}
 		return f.value
 	}
 	if fr.wait.Add(-1) != 0 {
+		if r.recording {
+			// A strand that suspends mid-body cannot be expressed as a
+			// single compiled strand; this shape stays live.
+			r.recorder.fail()
+		}
 		fr.park()
 	} else {
 		// Put drained the counter while we were registering: the wake

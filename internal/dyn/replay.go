@@ -75,11 +75,31 @@ const replayBlock = 64
 // per-strand allocation cost is the future cell alone (one slab per run).
 func Replay(eg *core.ExecGraph, deps [][]int32) Task {
 	n := eg.NumStrands()
+	// Flatten the strand bodies once: the per-task hot path then costs a
+	// single slice load instead of walking eg's leaf table on every run.
+	runs := make([]func(), n)
+	for s := 0; s < n; s++ {
+		runs[s] = eg.Strand(int32(s)).Run
+	}
 	return func(c *Context) {
-		cells := make([]Future, n)
+		// In replay mode the cells are dead weight: the closures below are
+		// only hashed (never run), so skip the big allocation. The code
+		// pointers — all the verification hash sees of them — do not
+		// depend on the captured slice.
+		var cells []Future
+		if !c.Replaying() {
+			cells = make([]Future, n)
+		}
 		strand := func(c *Context, s int64) {
-			if leaf := eg.Strand(int32(s)); leaf.Run != nil {
-				leaf.Run()
+			if fn := runs[s]; fn != nil {
+				fn()
+			}
+			if c.Replaying() {
+				// The cells carry no values (pure sync tokens), so the
+				// replayed Put reduces to its shape-hash contribution —
+				// this mix must stay identical to Put's replay branch.
+				c.rh = mix2(c.rh, opPut)
+				return
 			}
 			cells[s].Put(c, nil)
 		}
@@ -88,20 +108,32 @@ func Replay(eg *core.ExecGraph, deps [][]int32) Task {
 			if hi > n {
 				hi = n
 			}
-			// Charge the join guard and the run's pending count for the
-			// whole batch with one atomic add each.
+			if c.Replaying() {
+				// Shape verification only (see jit.go): mix the same
+				// spawn events the live loop below produces.
+				pc := pcOf(strand)
+				for s := int(lo); s < hi; s++ {
+					c.rh = mixSpawnV(c.rh, opSpawnFor, int64(s), len(deps[s]), pc)
+				}
+				return
+			}
+			// Charge the join guard for the whole batch with one atomic
+			// add; children come straight from the slab-backed pool.
 			fr := c.fr
+			r := fr.run
 			fr.kids.Add(int32(hi - int(lo)))
-			fr.run.trk.SpawnedN(int64(hi - int(lo)))
 			var scratch []*Future
 			for s := int(lo); s < hi; s++ {
 				scratch = scratch[:0]
 				for _, p := range deps[s] {
 					scratch = append(scratch, &cells[p])
 				}
-				child := fr.run.takeFrame(fr.w)
+				child := r.takeFrame(fr.w)
 				child.xfn, child.x = strand, int64(s)
 				child.parent = fr
+				if r.observing {
+					r.observeSpawn(fr, child, opSpawnFor, int64(s), len(scratch), strand)
+				}
 				c.gate(child, scratch)
 			}
 		}

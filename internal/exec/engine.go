@@ -98,13 +98,32 @@ func (r *Run) Wait() error {
 
 type instPool struct {
 	free []*Instance // guarded by the engine mutex
+	use  uint64      // last-touch tick for eviction, under the engine mutex
 }
 
 type progEntry struct {
 	once sync.Once
 	g    *core.Graph
 	err  error
+	use  uint64 // last-touch tick for eviction, under the engine mutex
 }
+
+// CacheStats is a snapshot of the engine's compile-cache counters: the
+// program cache (per *core.Program rewrite+compile results) and the
+// instance pools (per-ExecGraph run state). Misses are allocations or
+// compilations; evictions count entries dropped by the cache bound.
+type CacheStats struct {
+	ProgramHits    uint64
+	ProgramMisses  uint64
+	InstanceHits   uint64
+	InstanceMisses uint64
+	Evictions      uint64
+}
+
+// defaultCacheCap bounds each of the engine's two compile caches (program
+// entries, instance pools) in a long-lived serving process. Generous for
+// any benchmark or test workload; SetCacheCap tunes it.
+const defaultCacheCap = 256
 
 // Engine is a long-lived work-stealing worker pool that accepts
 // concurrent run submissions and multiplexes every in-flight graph
@@ -149,6 +168,13 @@ type Engine struct {
 	slots    atomic.Pointer[[]*Run] // copy-on-write snapshot, indexed by task slot
 	progs    map[*core.Program]*progEntry
 	pools    map[*core.ExecGraph]*instPool
+	// Cache bound bookkeeping, under mu: a monotonic touch tick and the
+	// per-map size cap. Eviction is an O(size) min-tick scan on insert —
+	// the caps are small and inserts are misses, so the scan never shows
+	// up on the steady-state (all-hit) path.
+	cacheTick uint64
+	cacheCap  int
+	cstats    CacheStats
 
 	// topo is the locality-aware steal topology, nil on flat engines. When
 	// set, victim selection walks domains nearest-first, anchored strands
@@ -190,11 +216,12 @@ func newEngine(workers int, topo *Topology) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		workers: workers,
-		deques:  make([]*wsDeque, workers),
-		progs:   make(map[*core.Program]*progEntry),
-		pools:   make(map[*core.ExecGraph]*instPool),
-		topo:    topo,
+		workers:  workers,
+		deques:   make([]*wsDeque, workers),
+		progs:    make(map[*core.Program]*progEntry),
+		pools:    make(map[*core.ExecGraph]*instPool),
+		cacheCap: defaultCacheCap,
+		topo:     topo,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := range e.deques {
@@ -247,12 +274,17 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 		if pool == nil {
 			pool = &instPool{}
 			e.pools[eg] = pool
+			e.evictPoolsLocked()
 		}
+		e.cacheTick++
+		pool.use = e.cacheTick
 		if n := len(pool.free); n > 0 {
 			inst = pool.free[n-1]
 			pool.free = pool.free[:n-1]
+			e.cstats.InstanceHits++
 		} else {
 			inst = NewInstance(eg)
+			e.cstats.InstanceMisses++
 		}
 	}
 	if e.topo != nil && inst.locTopo != e.topo {
@@ -301,13 +333,77 @@ func (e *Engine) SubmitProgram(p *core.Program) (*Run, error) {
 	if ent == nil {
 		ent = &progEntry{}
 		e.progs[p] = ent
+		e.cstats.ProgramMisses++
+		e.evictProgsLocked()
+	} else {
+		e.cstats.ProgramHits++
 	}
+	e.cacheTick++
+	ent.use = e.cacheTick
 	e.mu.Unlock()
 	ent.once.Do(func() { ent.g, ent.err = core.Rewrite(p) })
 	if ent.err != nil {
 		return nil, ent.err
 	}
 	return e.Submit(ent.g)
+}
+
+// evictPoolsLocked drops least-recently-touched instance pools until the
+// map respects the cap. Evicting a pool with in-flight runs is safe: each
+// run holds its own pool pointer and re-pools its instance there; the
+// orphaned pool is collected once those runs retire.
+func (e *Engine) evictPoolsLocked() {
+	for len(e.pools) > e.cacheCap {
+		var victim *core.ExecGraph
+		min := uint64(0)
+		for eg, pool := range e.pools {
+			if victim == nil || pool.use < min {
+				victim, min = eg, pool.use
+			}
+		}
+		delete(e.pools, victim)
+		e.cstats.Evictions++
+	}
+}
+
+// evictProgsLocked drops least-recently-touched program cache entries
+// until the map respects the cap. An entry mid-compile is safe to evict:
+// the submitting goroutine holds it directly; a later submission of the
+// same program recompiles into a fresh entry.
+func (e *Engine) evictProgsLocked() {
+	for len(e.progs) > e.cacheCap {
+		var victim *core.Program
+		min := uint64(0)
+		first := true
+		for p, ent := range e.progs {
+			if first || ent.use < min {
+				victim, min, first = p, ent.use, false
+			}
+		}
+		delete(e.progs, victim)
+		e.cstats.Evictions++
+	}
+}
+
+// CacheStats returns a snapshot of the compile-cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cstats
+}
+
+// SetCacheCap bounds the engine's program cache and instance-pool map at
+// n entries each (minimum 1), evicting immediately if they already
+// exceed it. The default is defaultCacheCap (256).
+func (e *Engine) SetCacheCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	e.cacheCap = n
+	e.evictPoolsLocked()
+	e.evictProgsLocked()
+	e.mu.Unlock()
 }
 
 // Run executes the program to completion: SubmitProgram plus Wait. In the

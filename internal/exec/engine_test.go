@@ -267,3 +267,99 @@ func TestPackTask(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineCacheStatsAndEviction covers the bounded compile caches: hit
+// and miss accounting on both maps, LRU-ish eviction under a small cap,
+// and the safety of evicting an instance pool while its graph is still
+// in flight (the run holds its own pool pointer).
+func TestEngineCacheStatsAndEviction(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+
+	var graphs []*core.Graph
+	for seed := int64(200); len(graphs) < 4 && seed < 260; seed++ {
+		if g := randomGraph(t, seed); g != nil {
+			for _, l := range g.P.Leaves {
+				l.Run = nil
+			}
+			graphs = append(graphs, g)
+		}
+	}
+	if len(graphs) < 4 {
+		t.Fatalf("only %d random graphs", len(graphs))
+	}
+
+	run := func(g *core.Graph) {
+		t.Helper()
+		r, err := e.Submit(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First submissions allocate (instance misses), repeats pool (hits).
+	for _, g := range graphs {
+		run(g)
+	}
+	for _, g := range graphs {
+		run(g)
+	}
+	st := e.CacheStats()
+	if st.InstanceMisses != uint64(len(graphs)) || st.InstanceHits != uint64(len(graphs)) {
+		t.Fatalf("instance accounting: %+v, want %d misses then %d hits", st, len(graphs), len(graphs))
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions under default cap: %+v", st)
+	}
+
+	// Program cache: one miss, then hits.
+	p := graphs[0].P
+	for i := 0; i < 3; i++ {
+		r, err := e.SubmitProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = e.CacheStats()
+	if st.ProgramMisses != 1 || st.ProgramHits != 2 {
+		t.Fatalf("program accounting: %+v, want 1 miss / 2 hits", st)
+	}
+
+	// Cap below the working set: pools are evicted oldest-first, and a
+	// re-submission of an evicted graph misses again.
+	e.SetCacheCap(2)
+	st = e.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after capping below the pool count: %+v", st)
+	}
+	e.mu.Lock()
+	nPools := len(e.pools)
+	e.mu.Unlock()
+	if nPools > 2 {
+		t.Fatalf("%d pools survive a cap of 2", nPools)
+	}
+	before := e.CacheStats().InstanceMisses
+	run(graphs[0]) // graphs[0] is the LRU; it must have been evicted
+	if after := e.CacheStats().InstanceMisses; after != before+1 {
+		t.Fatalf("evicted graph did not miss on resubmission (misses %d → %d)", before, after)
+	}
+
+	// Eviction with the victim in flight: submit, then force eviction by
+	// touching the other graphs, then Wait. The run's own pool pointer
+	// keeps the orphan alive; nothing crashes and the run completes.
+	r, err := e.Submit(graphs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(graphs[2])
+	run(graphs[3])
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

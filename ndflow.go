@@ -289,6 +289,21 @@ func RunDynamic(e *Engine, root func(*TaskContext)) error {
 	return dyn.Run(e, root)
 }
 
+// DynProgram is a dynamic root task wrapped with adaptive replay
+// compilation: repeated runs that unfold the same DAG shape are
+// recorded, compiled, and replayed through the engine's compiled path,
+// with a per-strand divergence guard falling back to live dynamic
+// execution. The root must tolerate re-execution (see dyn.NewProgram).
+type DynProgram = dyn.Program
+
+// NewDynProgram wraps a dynamic root task for adaptive replay
+// compilation; run it with p.Run(engine). The first few runs execute
+// live while the shape cache warms (observe, then record), after which
+// repeated shapes run on the compiled engine.
+func NewDynProgram(root func(*TaskContext), cfg ...dyn.JITConfig) *DynProgram {
+	return dyn.NewProgram(root, cfg...)
+}
+
 // --- Machine simulation
 
 // MachineSpec describes a Parallel Memory Hierarchy (Figure 2).
