@@ -6,15 +6,21 @@
 // Each object carries the benchmark name (GOMAXPROCS suffix stripped),
 // the iteration count, and every reported metric keyed by its unit
 // (ns/op, B/op, allocs/op, plus any ReportMetric extras such as
-// strands/s). CI uses it to emit the per-PR benchmark trajectory
-// artifact, so numbers live in a diffable file instead of only in log
-// text and commit messages.
+// strands/s and MB/s lines from b.SetBytes). Result lines are parsed as
+// generic value/unit pairs, so runs without -benchmem (no B/op or
+// allocs/op columns) and non-ns/op units all round-trip. A
+// Benchmark-prefixed line that cannot be parsed is an error: benchjson
+// prints the offending line and exits non-zero rather than silently
+// emitting a short array. CI uses it to emit the per-PR benchmark
+// trajectory artifact, so numbers live in a diffable file instead of
+// only in log text and commit messages.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,9 +32,16 @@ type result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-func main() {
-	var results []result
-	sc := bufio.NewScanner(os.Stdin)
+// parse extracts every benchmark result from a `go test -bench` text
+// stream. Lines not starting with "Benchmark" (headers, PASS/ok
+// trailers, test chatter) are skipped, as are bare benchmark-name
+// announcement lines (verbose mode prints the name alone before the
+// result). Any other malformed Benchmark-prefixed record — non-integer
+// iteration count, a dangling value with no unit, a non-numeric metric
+// value — is an error naming the offending line.
+func parse(r io.Reader) ([]result, error) {
+	results := []result{}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -36,7 +49,9 @@ func main() {
 			continue
 		}
 		f := strings.Fields(line)
-		if len(f) < 4 {
+		if len(f) == 1 {
+			// Verbose mode announces each benchmark by name on its own
+			// line before the result line; not a record.
 			continue
 		}
 		name := f[0]
@@ -47,19 +62,30 @@ func main() {
 		}
 		iters, err := strconv.ParseInt(f[1], 10, 64)
 		if err != nil {
-			continue
+			return nil, fmt.Errorf("malformed benchmark record (iteration count %q is not an integer): %s", f[1], line)
+		}
+		if len(f)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark record (metric %q has no unit): %s", f[len(f)-1], line)
 		}
 		metrics := make(map[string]float64)
 		for k := 2; k+1 < len(f); k += 2 {
 			v, err := strconv.ParseFloat(f[k], 64)
 			if err != nil {
-				continue
+				return nil, fmt.Errorf("malformed benchmark record (metric value %q is not a number): %s", f[k], line)
 			}
 			metrics[f[k+1]] = v
 		}
 		results = append(results, result{Name: name, Iters: iters, Metrics: metrics})
 	}
 	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func main() {
+	results, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

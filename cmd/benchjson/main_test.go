@@ -1,0 +1,115 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParse drives the record parser over captured `go test -bench`
+// output variants: full -benchmem rows, bare ns/op rows, MB/s and
+// custom ReportMetric units, verbose-mode name announcements, and the
+// malformed records that must fail loudly instead of shrinking the
+// array.
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    []result
+		wantErr string // substring of the error, empty = success
+	}{
+		{
+			name: "benchmem row",
+			in: "goos: linux\ngoarch: amd64\npkg: github.com/ndflow/ndflow\ncpu: AMD EPYC\n" +
+				"BenchmarkEngineRerun-8   \t    9346\t    127544 ns/op\t       0 B/op\t       0 allocs/op\n" +
+				"PASS\nok  \tgithub.com/ndflow/ndflow\t2.153s\n",
+			want: []result{{
+				Name:  "BenchmarkEngineRerun",
+				Iters: 9346,
+				Metrics: map[string]float64{
+					"ns/op": 127544, "B/op": 0, "allocs/op": 0,
+				},
+			}},
+		},
+		{
+			name: "no allocs columns",
+			in:   "BenchmarkDynFib-4   \t     100\t  11915345 ns/op\n",
+			want: []result{{
+				Name:    "BenchmarkDynFib",
+				Iters:   100,
+				Metrics: map[string]float64{"ns/op": 11915345},
+			}},
+		},
+		{
+			name: "custom and throughput units",
+			in: "BenchmarkFW/n=256-16   \t      50\t  23178004 ns/op\t 883.25 MB/s\t  707185 strands/s\t       3.000 steals/run\n" +
+				"BenchmarkSub/n=16   \t 1000000\t     circa ignored\n",
+			want:    nil,
+			wantErr: `"circa" is not a number`,
+		},
+		{
+			name: "subbenchmark keeps slash suffix",
+			in:   "BenchmarkFW/n=256-16   \t      50\t  23178004 ns/op\t  707185 strands/s\n",
+			want: []result{{
+				Name:    "BenchmarkFW/n=256",
+				Iters:   50,
+				Metrics: map[string]float64{"ns/op": 23178004, "strands/s": 707185},
+			}},
+		},
+		{
+			name: "verbose announcement line skipped",
+			in:   "BenchmarkDynSpawnJoin\nBenchmarkDynSpawnJoin-8   \t    3000\t    420000 ns/op\n",
+			want: []result{{
+				Name:    "BenchmarkDynSpawnJoin",
+				Iters:   3000,
+				Metrics: map[string]float64{"ns/op": 420000},
+			}},
+		},
+		{
+			name:    "non-integer iteration count",
+			in:      "BenchmarkBroken-8   \tfast\t    1234 ns/op\n",
+			wantErr: `"fast" is not an integer`,
+		},
+		{
+			name:    "dangling metric without unit",
+			in:      "BenchmarkBroken-8   \t    1000\t    1234 ns/op\t  42\n",
+			wantErr: `"42" has no unit`,
+		},
+		{
+			name:    "non-numeric metric value",
+			in:      "BenchmarkBroken-8   \t    1000\t    oops ns/op\n",
+			wantErr: `"oops" is not a number`,
+		},
+		{
+			name: "empty input yields empty array",
+			in:   "PASS\nok  \tgithub.com/ndflow/ndflow\t0.004s\n",
+			want: []result{},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := parse(strings.NewReader(c.in))
+			if c.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parse succeeded (%v), want error containing %q", got, c.wantErr)
+				}
+				if !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, c.wantErr)
+				}
+				if !strings.Contains(err.Error(), "Benchmark") {
+					t.Fatalf("error %q does not include the offending line", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == nil {
+				t.Fatal("parse returned a nil slice; must be non-nil so the JSON output is [] not null")
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("parse = %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}

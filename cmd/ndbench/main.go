@@ -16,6 +16,8 @@
 //	ndbench -serve -submitters 8 -repeats 500 -algo TRS -n 128 -nilbodies
 //	ndbench -serve -workers 2                 # pin the engine pool size
 //	ndbench -serve -locality                  # add the cache-domain engine row
+//	ndbench -serve -policy critpath           # add a critical-path-first engine row
+//	ndbench -serve -policy relaxed            # add a relaxed-MultiQueue engine row
 //
 // -workers pins the engine pool size (default GOMAXPROCS), so a worker
 // sweep is one invocation per count; -locality adds an engine whose
@@ -63,6 +65,7 @@ func main() {
 		nilBodies  = flag.Bool("nilbodies", false, "serving mode: strip strand closures (pure scheduling)")
 		dynMode    = flag.Bool("dyn", false, "serving mode: add the dynamic runtime (online Spawn/Future replay) as a third row")
 		locality   = flag.Bool("locality", false, "serving mode: add the locality-aware engine (cache-domain anchoring on pmh.DefaultSpec(workers)) as another row")
+		policy     = flag.String("policy", "", "serving mode: add a priority-scheduling engine row: critpath (depth-to-sink fan-out ordering) or relaxed (per-worker MultiQueue pairs)")
 	)
 	flag.Parse()
 
@@ -73,7 +76,7 @@ func main() {
 		return
 	}
 	if *serve {
-		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies, *dynMode, *locality)
+		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies, *dynMode, *locality, *policy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ndbench:", err)
 			os.Exit(1)
@@ -137,7 +140,7 @@ func emit(tables []*experiments.Table, jsonOut bool) {
 // like the default FW-1D, not for in-place destructive factorizations
 // (LU, Cholesky, TRS). -nilbodies strips the closures, shares one graph
 // across submitters, and isolates scheduling overhead for any algorithm.
-func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies, dynMode, locality bool) (*experiments.Table, error) {
+func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies, dynMode, locality bool, policy string) (*experiments.Table, error) {
 	// Pure forward recurrences recompute the same table from untouched
 	// inputs, so re-running one instance is sound; everything else (the
 	// in-place destructive factorizations and solves) must serve with
@@ -211,6 +214,32 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 			name string
 			run  func(s int) error
 		}{"engine-locality", func(s int) error { return locEng.Run(graphs[s].P) }})
+	}
+	if policy != "" {
+		// A priority-scheduling engine row: the same cached re-runs with
+		// fan-out ordered by the compile-time depth-to-sink table —
+		// either strictly on the worker's own deque (critpath) or through
+		// per-worker relaxed MultiQueue pairs (relaxed). See DESIGN.md's
+		// scheduling-policies section for when each wins.
+		var prioEng *exec.Engine
+		switch policy {
+		case "critpath":
+			prioEng = exec.NewEngine(workers, exec.WithPolicy(exec.PolicyCriticalPath))
+		case "relaxed":
+			prioEng = exec.NewRelaxedEngine(workers)
+		default:
+			return nil, fmt.Errorf("-policy %q: want critpath or relaxed", policy)
+		}
+		defer prioEng.Close()
+		for _, g := range graphs {
+			if err := prioEng.Run(g.P); err != nil {
+				return nil, err
+			}
+		}
+		modes = append(modes, struct {
+			name string
+			run  func(s int) error
+		}{"engine-" + policy, func(s int) error { return prioEng.Run(graphs[s].P) }})
 	}
 	var progs []*dyn.Program
 	var warmRuns, warmHits uint64

@@ -5,6 +5,7 @@
 //	nddot -algo TRS -model ND -n 8 -base 4           # spawn tree + arrows
 //	nddot -algo LCS -model ND -n 8 -base 2 -leafdag  # strand-level DAG
 //	nddot -algo FW-1D -n 8 -base 4 -wake             # collapsed wake graph
+//	nddot -algo LU -n 16 -base 4 -prio               # wake graph shaded by depth-to-sink
 //
 // Algorithms: MM, TRS, Cholesky, LU, FW-1D, LCS.
 package main
@@ -27,6 +28,7 @@ func main() {
 		base    = flag.Int("base", 4, "base-case size (power of two)")
 		leafDAG = flag.Bool("leafdag", false, "emit the strand-level algorithm DAG instead of the spawn tree")
 		wake    = flag.Bool("wake", false, "emit the collapsed wake graph (counters and weighted wake edges) the trackers run")
+		prio    = flag.Bool("prio", false, "emit the wake graph shaded by the scheduler's depth-to-sink priority table")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func main() {
 		os.Exit(1)
 	}
 	switch {
+	case *prio:
+		err = core.WritePriorityDOT(os.Stdout, g)
 	case *wake:
 		err = core.WriteWakeGraphDOT(os.Stdout, g)
 	case *leafDAG:

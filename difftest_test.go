@@ -226,6 +226,10 @@ func TestRuntimesBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer locEng.Close()
+	cpEng := exec.NewEngine(4, exec.WithPolicy(exec.PolicyCriticalPath))
+	defer cpEng.Close()
+	rlxEng := exec.NewRelaxedEngine(4)
+	defer rlxEng.Close()
 	runtimes := []struct {
 		name string
 		// idemOnly restricts the runtime to idempotent cases: runtimes
@@ -277,6 +281,27 @@ func TestRuntimesBitIdentical(t *testing.T) {
 				return fmt.Errorf("shape cache never served a warm run: %+v", st)
 			}
 			return nil
+		}},
+		// The critical-path-first policy (tenth runtime): fan-outs and
+		// the injector order deepest-first by compile-time depth-to-sink.
+		// Order changes, outputs must not.
+		{"engine-critpath", false, func(g *core.Graph) error {
+			r, err := cpEng.Submit(g)
+			if err != nil {
+				return err
+			}
+			return r.Wait()
+		}},
+		// The relaxed MultiQueue engine (eleventh runtime): the ready
+		// structure is approximate-priority per-worker queue pairs with
+		// pick-2-random stealing; the wake graph still gates readiness,
+		// so the schedule remains a legal execution of the DAG.
+		{"engine-relaxed", false, func(g *core.Graph) error {
+			r, err := rlxEng.Submit(g)
+			if err != nil {
+				return err
+			}
+			return r.Wait()
 		}},
 	}
 	for _, c := range diffCases() {

@@ -83,6 +83,61 @@ func WriteWakeGraphDOT(w io.Writer, g *Graph) error {
 	return err
 }
 
+// WritePriorityDOT renders the strand-level wake graph shaded by the
+// scheduler's priority table: each strand gate filled on a grayscale
+// ramp by its depth-to-sink (darker = deeper = scheduled first under
+// the critical-path policy) and labelled with the depth value. The
+// deepest initially-ready strand carries the whole span, so the darkest
+// doubled-border node is where a critical-path-first schedule starts.
+func WritePriorityDOT(w io.Writer, g *Graph) error {
+	eg := g.Exec()
+	wg := eg.Wake()
+	depths := eg.StrandDepths()
+	var max int64 = 1
+	for _, d := range depths {
+		if d > max {
+			max = d
+		}
+	}
+	if _, err := fmt.Fprintln(w, "digraph priority {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintf(w, "  label=\"priority table: depth-to-sink per strand, span=%d (darker = deeper = scheduled first)\";\n", max)
+	initial := make(map[int32]bool, len(wg.InitialReady()))
+	for _, s := range wg.InitialReady() {
+		initial[s] = true
+	}
+	for s := 0; s < wg.NumStrands(); s++ {
+		peripheries := 1
+		if initial[int32(s)] {
+			peripheries = 2
+		}
+		// Grayscale ramp from white (depth 0) to near-black (depth ==
+		// span); flip the font when the fill gets dark.
+		shade := 95 - int(75*depths[s]/max)
+		font := "black"
+		if shade < 55 {
+			font = "white"
+		}
+		label := fmt.Sprintf("%s\\nd=%d", g.P.Leaves[s].Label, depths[s])
+		fmt.Fprintf(w, "  c%d [shape=ellipse,style=filled,peripheries=%d,fillcolor=\"gray%d\",fontcolor=%s,label=%q];\n",
+			s, peripheries, shade, font, label)
+	}
+	for r := 0; r < wg.NumRelays(); r++ {
+		t := int32(wg.NumStrands() + r)
+		fmt.Fprintf(w, "  c%d [shape=box,label=%q];\n", t, fmt.Sprintf("relay %d", r))
+	}
+	for i := 0; i < wg.NumCounters(); i++ {
+		targets, _ := wg.Row(int32(i))
+		for _, t := range targets {
+			fmt.Fprintf(w, "  c%d -> c%d;\n", i, t)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
 // WriteLeafDAGDOT writes the leaf-level algorithm DAG: one vertex per
 // strand, and an edge u → v whenever an arrow orders (an ancestor of) u
 // before (an ancestor of) v directly. Transitive structure induced by

@@ -44,6 +44,10 @@ type ExecGraph struct {
 
 	wakeOnce sync.Once
 	wake     *WakeGraph // strand-level collapse, built lazily by Wake
+
+	prioOnce    sync.Once
+	strandDepth []int64 // per strand: longest path to the sink, incl. own work
+	prioInit    []int32 // initial-ready strands, deepest first
 }
 
 // NewExecGraph compiles the event graph of p induced by the given dataflow

@@ -1,0 +1,64 @@
+package core
+
+import "sort"
+
+// Priority table: longest path to the sink per strand, computed once at
+// compile time and cached on the ExecGraph next to taskSize.
+//
+// The depth-to-sink of a strand s is the weight of the heaviest
+// remaining chain once s becomes ready: s's own work plus the longest
+// weighted path from s's end vertex to the program's sink. A scheduler
+// that prefers deep strands works on the critical path first, which is
+// exactly what keeps the span term of the paper's runtime bound from
+// being inflated by priority inversions. The table is a single reverse
+// pass over the precomputed topological order, so it costs O(V+E) once
+// per compiled graph and nothing on any scheduling path.
+
+// buildPrio fills strandDepth and prioInit. Called via prioOnce.
+func (e *ExecGraph) buildPrio() {
+	depth := make([]int64, e.numVerts)
+	for i := len(e.topo) - 1; i >= 0; i-- {
+		v := e.topo[i]
+		var best int64
+		for _, w := range e.Succ(v) {
+			if d := depth[w] + e.EdgeWeight(v, w); d > best {
+				best = d
+			}
+		}
+		depth[v] = best
+	}
+	sd := make([]int64, e.NumStrands())
+	for s := range sd {
+		sd[s] = depth[e.StrandStart(int32(s))]
+	}
+	e.strandDepth = sd
+
+	// The initially-ready strands, deepest first: the order a
+	// priority-aware scheduler should seed its ready structure in.
+	// Stable so equal-depth strands keep the wake graph's order and
+	// FIFO-policy runs stay comparable.
+	init := append([]int32(nil), e.Wake().InitialReady()...)
+	sort.SliceStable(init, func(i, j int) bool { return sd[init[i]] > sd[init[j]] })
+	e.prioInit = init
+}
+
+// StrandDepths returns the per-strand depth-to-sink table: for each
+// strand ID, the longest weighted path from its start vertex to the
+// program's sink, including the strand's own work. The maximum over
+// initially-ready strands equals Span(). Built lazily on first use and
+// shared; safe to request concurrently, do not modify.
+func (e *ExecGraph) StrandDepths() []int64 {
+	e.prioOnce.Do(e.buildPrio)
+	return e.strandDepth
+}
+
+// StrandDepth returns the depth-to-sink of one strand.
+func (e *ExecGraph) StrandDepth(id int32) int64 { return e.StrandDepths()[id] }
+
+// PrioInitialReady returns the initially-ready strands sorted by
+// descending depth-to-sink (ties keep InitialReady order). Shared; do
+// not modify.
+func (e *ExecGraph) PrioInitialReady() []int32 {
+	e.prioOnce.Do(e.buildPrio)
+	return e.prioInit
+}

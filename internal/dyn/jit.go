@@ -51,8 +51,9 @@ import (
 //     divergence at strand end, Get of a future the recording says
 //     should be resolved, a Sync — marks the run diverged; remaining
 //     strands turn into no-ops, and Run falls back to a full live
-//     execution. MaxDivergences diverged runs invalidate the recording
-//     and the program re-observes from scratch.
+//     execution. MaxDivergences *consecutive* diverged runs invalidate
+//     the recording and the program re-observes from scratch (a clean
+//     replay resets the count).
 //
 // The fallback leans on the replayability contract: a Program's root
 // task must tolerate re-execution from the top (as difftest's idempotent
@@ -74,7 +75,8 @@ type JITConfig struct {
 	// identical run records and the 4th replays).
 	Threshold int
 	// MaxDivergences invalidates the compiled shape after this many
-	// diverged replays. Default 2.
+	// consecutive diverged replays (a successful replay resets the
+	// count). Default 2.
 	MaxDivergences int
 	// MaxBindings caps the compiled bindings (graph + replay state) that
 	// may be checked out by concurrent warm runs; excess runs execute
@@ -187,6 +189,11 @@ func (p *Program) Run(e *exec.Engine) error {
 			p.mu.Lock()
 			p.stats.Runs++
 			p.stats.Hits++
+			// A clean replay proves the recording still matches the
+			// program: MaxDivergences bounds *consecutive* diverged runs,
+			// so recovery resets the invalidation counter (the cumulative
+			// count stays in stats.Divergences).
+			p.divergences = 0
 			p.mu.Unlock()
 			return nil
 		}

@@ -14,6 +14,43 @@ import (
 // ErrEngineClosed is returned by submissions to a closed engine.
 var ErrEngineClosed = errors.New("exec: engine is closed")
 
+// Policy selects the engine's ready-structure and ordering discipline.
+// Every policy executes the same dependency graph and produces the same
+// outputs; only the order in which ready strands are started differs.
+type Policy int32
+
+const (
+	// PolicyFIFO is the default: submission order on the injector, LIFO
+	// owner pops and FIFO steals on the Chase–Lev deques, fan-out in
+	// wake-graph row order.
+	PolicyFIFO Policy = iota
+	// PolicyCriticalPath schedules deepest-first by compile-time
+	// depth-to-sink (core.ExecGraph.StrandDepths): the injector seeds
+	// initially-ready strands deepest first, fan-outs sort wakes by
+	// descending depth, and ready-chaining keeps the deepest successor.
+	// Deques are unchanged, so the policy costs one small sort per
+	// fan-out and nothing on the steal path.
+	PolicyCriticalPath
+	// PolicyRelaxed replaces the deque discipline for compiled strands
+	// with per-worker MultiQueue pairs (see relaxed.go): priority order
+	// is approximate, but pops are contention-free with high
+	// probability. Constructed via NewRelaxedEngine.
+	PolicyRelaxed
+)
+
+// Option configures an Engine at construction.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	policy Policy
+}
+
+// WithPolicy selects the scheduling policy. PolicyRelaxed is equivalent
+// to NewRelaxedEngine.
+func WithPolicy(p Policy) Option {
+	return func(c *engineConfig) { c.policy = p }
+}
+
 // Instance is the reusable per-graph run state: one ConcurrentTracker over
 // a compiled ExecGraph's strand-level wake graph. Because the tracker
 // rewinds by generation stamp (core.ConcurrentTracker.Reset), the same
@@ -33,6 +70,9 @@ type Instance struct {
 	// instances migrating between engines are re-bound.
 	loc     *locState
 	locTopo *Topology
+	// prio is the compiled graph's depth-to-sink table, attached at
+	// submission on priority-aware policies (nil under PolicyFIFO).
+	prio []int64
 }
 
 // NewInstance allocates run state for the compiled graph. The instance is
@@ -181,12 +221,40 @@ type Engine struct {
 	// route through per-domain mailboxes, and submissions attach anchoring
 	// state to their instances (see topology.go).
 	topo *Topology
+
+	// policy is the scheduling discipline; mq is the relaxed MultiQueue
+	// ready structure, non-nil iff policy == PolicyRelaxed.
+	policy Policy
+	mq     *multiQueue
+	// steals counts victim-queue takes through the work-stealing
+	// protocol proper (deque steals, far mailbox polls); crossPops
+	// counts relaxed MultiQueue pops from outside the worker's own
+	// pair, which are ordinary pops of a shared structure, not steals.
+	// Together they are the cross-worker traffic SchedStats exposes.
+	steals    atomic.Uint64
+	crossPops atomic.Uint64
 }
 
 // NewEngine starts an engine with the given worker count (GOMAXPROCS when
-// workers ≤ 0). The workers live until Close.
-func NewEngine(workers int) *Engine {
-	return newEngine(workers, nil)
+// workers ≤ 0). The workers live until Close. Options select the
+// scheduling policy; the default is PolicyFIFO.
+func NewEngine(workers int, opts ...Option) *Engine {
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newEngine(workers, nil, cfg.policy)
+}
+
+// NewRelaxedEngine starts an engine whose compiled-strand ready
+// structure is a relaxed MultiQueue (2 priority queues per worker,
+// pick-2-random steals, pop-deeper-of-two-heads; see relaxed.go)
+// keyed by depth-to-sink. Priority order is approximate — within
+// O(P·log P) rank inversions with high probability — in exchange for
+// contention-free pops under heavy load. Shorthand for
+// NewEngine(workers, WithPolicy(PolicyRelaxed)).
+func NewRelaxedEngine(workers int) *Engine {
+	return newEngine(workers, nil, PolicyRelaxed)
 }
 
 // NewLocalityEngine starts an engine whose workers are grouped into cache
@@ -205,13 +273,39 @@ func NewLocalityEngine(workers int, spec pmh.Spec, sigma float64) (*Engine, erro
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(workers, topo), nil
+	return newEngine(workers, topo, PolicyFIFO), nil
 }
 
 // Topology returns the engine's steal topology, nil for flat engines.
 func (e *Engine) Topology() *Topology { return e.topo }
 
-func newEngine(workers int, topo *Topology) *Engine {
+// Policy returns the engine's scheduling policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// SchedStats is a snapshot of the engine's cross-worker scheduling
+// counters.
+type SchedStats struct {
+	// Steals counts victim-queue takes through the work-stealing
+	// protocol: deque steals and, on locality engines, far mailbox
+	// polls. A relaxed engine's compiled strands never travel on
+	// deques, so its Steals meters only the dyn-task fallback path.
+	Steals uint64
+	// CrossPops counts relaxed-MultiQueue pops from outside the
+	// popping worker's own queue pair — the relaxed engine's
+	// cross-worker transfers. The MultiQueue is a shared structure
+	// with no owner, so these are cheap uncontended-lock pops rather
+	// than Chase–Lev protocol steals; they are metered separately so
+	// the two kinds of traffic stay comparable across policies.
+	CrossPops uint64
+}
+
+// SchedStats returns a snapshot of the scheduling counters. Cumulative
+// over the engine's lifetime; diff two snapshots to meter a run.
+func (e *Engine) SchedStats() SchedStats {
+	return SchedStats{Steals: e.steals.Load(), CrossPops: e.crossPops.Load()}
+}
+
+func newEngine(workers int, topo *Topology, policy Policy) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -222,6 +316,10 @@ func newEngine(workers int, topo *Topology) *Engine {
 		pools:    make(map[*core.ExecGraph]*instPool),
 		cacheCap: defaultCacheCap,
 		topo:     topo,
+		policy:   policy,
+	}
+	if policy == PolicyRelaxed {
+		e.mq = newMultiQueue(workers)
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := range e.deques {
@@ -271,12 +369,15 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 	var pool *instPool
 	if inst == nil {
 		pool = e.pools[eg]
+		e.cacheTick++
 		if pool == nil {
-			pool = &instPool{}
+			pool = &instPool{use: e.cacheTick}
 			e.pools[eg] = pool
+			// Stamp before evicting: a fresh entry with use==0 would be
+			// the minimum-tick scan's own victim, so at cap the cache
+			// would evict every new entry on arrival and never turn over.
 			e.evictPoolsLocked()
 		}
-		e.cacheTick++
 		pool.use = e.cacheTick
 		if n := len(pool.free); n > 0 {
 			inst = pool.free[n-1]
@@ -295,6 +396,9 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 		inst.loc = e.topo.newState(eg)
 		inst.locTopo = e.topo
 	}
+	if e.policy != PolicyFIFO && inst.prio == nil {
+		inst.prio = eg.StrandDepths()
+	}
 	r := e.getRunLocked()
 	r.inst, r.pool, r.err, r.dyn = inst, pool, nil, nil
 
@@ -310,8 +414,23 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 		return r, nil
 	}
 	slot := e.allocSlotLocked(r)
-	for _, id := range initial {
-		e.inject = append(e.inject, packTask(slot, id))
+	switch {
+	case e.mq != nil:
+		// Relaxed engine: spread the seed entries round-robin over every
+		// queue so the initial wave starts contention-free.
+		for _, id := range initial {
+			e.mq.pushAny(inst.prio[id], packTask(slot, id))
+		}
+	case e.policy == PolicyCriticalPath:
+		// Deepest strands enter the injector first, so the long chains
+		// are the first ones idle workers pick up.
+		for _, id := range eg.PrioInitialReady() {
+			e.inject = append(e.inject, packTask(slot, id))
+		}
+	default:
+		for _, id := range initial {
+			e.inject = append(e.inject, packTask(slot, id))
+		}
 	}
 	e.active++
 	e.epoch++
@@ -330,15 +449,17 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 func (e *Engine) SubmitProgram(p *core.Program) (*Run, error) {
 	e.mu.Lock()
 	ent := e.progs[p]
+	e.cacheTick++
 	if ent == nil {
-		ent = &progEntry{}
+		// As in submit: stamp the entry before the eviction scan runs, or
+		// the fresh zero-tick entry is its own victim at cap.
+		ent = &progEntry{use: e.cacheTick}
 		e.progs[p] = ent
 		e.cstats.ProgramMisses++
 		e.evictProgsLocked()
 	} else {
 		e.cstats.ProgramHits++
 	}
-	e.cacheTick++
 	ent.use = e.cacheTick
 	e.mu.Unlock()
 	ent.once.Do(func() { ent.g, ent.err = core.Rewrite(p) })
@@ -532,14 +653,30 @@ func (e *Engine) acquire(self int, rng *uint64, buf []int64) (int64, []int64, bo
 				return t, true
 			}
 			if t, ok = e.topo.stealNear(e.deques, self, rng); ok {
+				e.steals.Add(1)
 				return t, true
 			}
 			if t, buf, ok = e.pollMail(self, false, buf); ok {
+				e.steals.Add(1)
 				return t, true
 			}
 			return 0, false
 		}
-		return stealFrom(e.deques, self, rng)
+		if e.mq != nil {
+			if t, ok, foreign := e.mq.sweep(self, rng); ok {
+				if foreign {
+					e.crossPops.Add(1)
+				}
+				return t, true
+			}
+			// Dynamic task words still travel on the deques even under the
+			// relaxed policy; fall through to a deque sweep for those.
+		}
+		if t, ok := stealFrom(e.deques, self, rng); ok {
+			e.steals.Add(1)
+			return t, true
+		}
+		return 0, false
 	}
 	for {
 		e.mu.Lock()
@@ -647,7 +784,10 @@ func (e *Engine) workerLoop(w *Worker) {
 		next = -1
 		if t < 0 {
 			var ok bool
-			if t, ok = d.pop(); !ok {
+			if t, ok = d.pop(); !ok && e.mq != nil {
+				t, ok = e.mq.popOwn(w.self)
+			}
+			if !ok {
 				if t, mailBuf, ok = e.acquire(w.self, &rng, mailBuf); !ok {
 					return
 				}
@@ -690,11 +830,19 @@ func (e *Engine) workerLoop(w *Worker) {
 			lp.complete(id)
 			next = e.routeReady(w, d, lp, slot, id, ready)
 		} else if n := len(ready); n > 0 {
-			// Keep one enabled strand as the next local task; the rest go
-			// on the deque for thieves (waking one if any are parked).
-			next = packTask(slot, ready[n-1])
-			for _, rid := range ready[:n-1] {
-				d.push(packTask(slot, rid))
+			switch {
+			case e.mq != nil:
+				next = e.fanOutRelaxed(w.self, slot, ready, inst.prio)
+			case e.policy == PolicyCriticalPath:
+				next = e.fanOutPrio(d, slot, ready, inst.prio)
+			default:
+				// Keep one enabled strand as the next local task; the rest
+				// go on the deque for thieves (waking one if any are
+				// parked).
+				next = packTask(slot, ready[n-1])
+				for _, rid := range ready[:n-1] {
+					d.push(packTask(slot, rid))
+				}
 			}
 			if n > 1 && e.nSleep.Load() > 0 {
 				e.wake(n - 1)
@@ -703,5 +851,72 @@ func (e *Engine) workerLoop(w *Worker) {
 		if finished {
 			e.finish(r)
 		}
+	}
+}
+
+// fanOutPrio publishes a fan-out under PolicyCriticalPath: the ready
+// list is sorted by descending depth-to-sink, the deepest strand is
+// chained as the worker's next task, and the surplus goes on the deque
+// deepest-first — thieves take from the top (oldest), so the deepest
+// surplus strand is the first one stolen, while the owner unwinds its
+// own shallow end last.
+func (e *Engine) fanOutPrio(d *wsDeque, slot int32, ready []int32, prio []int64) int64 {
+	// An all-tied fan-out carries no priority signal (symmetric wakes —
+	// the common case in uniform recurrences like FW), so devolve to
+	// the FIFO fan-out: chain the last-enabled strand, whose wake
+	// counter is still cache-hot, and push the rest in wake order.
+	n := len(ready)
+	d0 := prio[ready[0]]
+	tied := true
+	for i := 1; i < n; i++ {
+		if prio[ready[i]] != d0 {
+			tied = false
+			break
+		}
+	}
+	if tied {
+		for _, rid := range ready[:n-1] {
+			d.push(packTask(slot, rid))
+		}
+		return packTask(slot, ready[n-1])
+	}
+	sortByDepth(ready, prio)
+	for _, rid := range ready[1:] {
+		d.push(packTask(slot, rid))
+	}
+	return packTask(slot, ready[0])
+}
+
+// fanOutRelaxed publishes a fan-out on the relaxed engine: the deepest
+// strand is chained, the surplus lands in the worker's own MultiQueue
+// pair (less-loaded queue of the two).
+func (e *Engine) fanOutRelaxed(self int, slot int32, ready []int32, prio []int64) int64 {
+	best := 0
+	for i := 1; i < len(ready); i++ {
+		if prio[ready[i]] > prio[ready[best]] {
+			best = i
+		}
+	}
+	next := ready[best]
+	ready[best] = ready[len(ready)-1]
+	for _, rid := range ready[:len(ready)-1] {
+		e.mq.pushLocal(self, prio[rid], packTask(slot, rid))
+	}
+	return packTask(slot, next)
+}
+
+// sortByDepth sorts ready by descending prio, stably, by insertion —
+// fan-outs are a handful of strands, so this beats sort.Slice's
+// interface overhead on the hot path.
+func sortByDepth(ready []int32, prio []int64) {
+	for i := 1; i < len(ready); i++ {
+		id := ready[i]
+		d := prio[id]
+		j := i - 1
+		for j >= 0 && prio[ready[j]] < d {
+			ready[j+1] = ready[j]
+			j--
+		}
+		ready[j+1] = id
 	}
 }

@@ -363,3 +363,91 @@ func TestEngineCacheStatsAndEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// cacheTestGraphs builds n distinct nil-body graphs for cache tests.
+func cacheTestGraphs(t *testing.T, n int) []*core.Graph {
+	t.Helper()
+	var graphs []*core.Graph
+	for seed := int64(300); len(graphs) < n && seed < 400; seed++ {
+		if g := randomGraph(t, seed); g != nil {
+			for _, l := range g.P.Leaves {
+				l.Run = nil
+			}
+			graphs = append(graphs, g)
+		}
+	}
+	if len(graphs) < n {
+		t.Fatalf("only %d random graphs", len(graphs))
+	}
+	return graphs
+}
+
+// TestEngineCacheAdmission pins the eviction-order bug: inserting a new
+// entry into a full cache must evict the least-recently-used OLD entry,
+// not the entry being admitted. The bug was stamping the use tick after
+// the eviction scan, which made every fresh (use==0) entry its own
+// victim — at cap, the cache never admitted anything new.
+func TestEngineCacheAdmission(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	e.SetCacheCap(2)
+	graphs := cacheTestGraphs(t, 3)
+	run := func(g *core.Graph) {
+		t.Helper()
+		r, err := e.Submit(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(graphs[0])
+	run(graphs[1])
+	run(graphs[2]) // at cap: must evict graphs[0] (LRU), admit graphs[2]
+	st := e.CacheStats()
+	if st.Evictions != 1 || st.InstanceMisses != 3 {
+		t.Fatalf("after 3 distinct graphs at cap 2: %+v, want 3 misses / 1 eviction", st)
+	}
+	run(graphs[2]) // the just-admitted entry must have survived
+	st = e.CacheStats()
+	if st.InstanceHits != 1 {
+		t.Fatalf("the newest entry was evicted on admission: %+v, want its re-run to hit", st)
+	}
+	run(graphs[0]) // the LRU really was the victim
+	st = e.CacheStats()
+	if st.InstanceMisses != 4 || st.Evictions != 2 {
+		t.Fatalf("LRU graph re-run: %+v, want a 4th miss and a 2nd eviction", st)
+	}
+}
+
+// TestEngineProgramCacheAdmission is the same admission-order pin for
+// the program cache (SubmitProgram had the identical stamp-after-evict
+// bug).
+func TestEngineProgramCacheAdmission(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	e.SetCacheCap(2)
+	graphs := cacheTestGraphs(t, 3)
+	run := func(g *core.Graph) {
+		t.Helper()
+		r, err := e.SubmitProgram(g.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(graphs[0])
+	run(graphs[1])
+	run(graphs[2])
+	run(graphs[2])
+	st := e.CacheStats()
+	if st.ProgramHits != 1 {
+		t.Fatalf("the newest program entry was evicted on admission: %+v, want its re-run to hit", st)
+	}
+	if st.ProgramMisses != 3 {
+		t.Fatalf("program accounting: %+v, want 3 misses", st)
+	}
+}

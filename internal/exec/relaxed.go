@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Relaxed MultiQueue ready structure (Alistarh et al., "Relaxed
+// Schedulers Can Efficiently Parallelize Iterative Algorithms"): 2P
+// priority queues for P workers, each a small spinlocked binary max-heap
+// of (depth-to-sink, task word) entries.
+//
+//   - A worker inserts into the less-loaded queue of its own pair.
+//   - It pops by comparing its pair's two heads and taking the deeper —
+//     the classic pick-2/pop-better rule applied to its own pair, so the
+//     common case touches only uncontended local queues.
+//   - When its pair is dry it probes pick-2-random among all 2P queues
+//     (counted as a steal), then falls back to an exhaustive scan so a
+//     failed sweep proves global emptiness — which is what the engine's
+//     announce-then-recheck parking protocol needs.
+//
+// The structure is relaxed: a pop returns *a* deep task, not *the*
+// deepest, with rank inversions bounded O(P log P) w.h.p. In exchange,
+// pops are contention-free with high probability — no single shared
+// heap top for every worker to fight over. Correctness never depends on
+// order here: the wake graph already gates readiness, priorities only
+// steer.
+//
+// Each queue carries seq-cst atomic mirrors of its size and head
+// priority so emptiness/load/head checks never take the lock; the
+// mirrors are updated inside the critical section, so any entry pushed
+// before a sweep started is visible to that sweep's size loads.
+
+// mqEntry is one ready task: its strand's depth-to-sink and the packed
+// (slot, strand) task word.
+type mqEntry struct {
+	prio int64
+	word int64
+}
+
+// mqueue is one spinlocked max-heap with lock-free size/head mirrors.
+type mqueue struct {
+	mu  sync.Mutex
+	n   atomic.Int32 // mirror of len(h)
+	top atomic.Int64 // mirror of h[0].prio; meaningful only while n > 0
+	h   []mqEntry    // binary max-heap on prio, guarded by mu
+	_   [64]byte     // keep adjacent queues off one cache line
+}
+
+// push inserts an entry and restores the heap invariant.
+func (q *mqueue) push(prio, word int64) {
+	q.mu.Lock()
+	h := append(q.h, mqEntry{prio, word})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].prio >= h[i].prio {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	q.h = h
+	q.top.Store(h[0].prio)
+	q.n.Store(int32(len(h)))
+	q.mu.Unlock()
+}
+
+// tryPop removes and returns the head entry's task word. It fails
+// without blocking when the queue is observed empty.
+func (q *mqueue) tryPop() (int64, bool) {
+	if q.n.Load() == 0 {
+		return 0, false
+	}
+	q.mu.Lock()
+	h := q.h
+	n := len(h)
+	if n == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	word := h[0].word
+	n--
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h[l].prio > h[big].prio {
+			big = l
+		}
+		if r < n && h[r].prio > h[big].prio {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+	q.h = h
+	if n > 0 {
+		q.top.Store(h[0].prio)
+	}
+	q.n.Store(int32(n))
+	q.mu.Unlock()
+	return word, true
+}
+
+// multiQueue is the engine-wide ready structure: two queues per worker,
+// worker w owning qs[2w] and qs[2w+1].
+type multiQueue struct {
+	qs []mqueue
+	rr atomic.Uint32 // round-robin cursor for ownerless (submission) inserts
+}
+
+func newMultiQueue(workers int) *multiQueue {
+	return &multiQueue{qs: make([]mqueue, 2*workers)}
+}
+
+// pushLocal inserts into the less-loaded queue of the worker's own pair.
+func (m *multiQueue) pushLocal(self int, prio, word int64) {
+	a, b := &m.qs[2*self], &m.qs[2*self+1]
+	if b.n.Load() < a.n.Load() {
+		a = b
+	}
+	a.push(prio, word)
+}
+
+// pushAny spreads ownerless inserts (submission-time seeding) round-robin
+// across every queue, so a fresh run's initial wave starts distributed.
+func (m *multiQueue) pushAny(prio, word int64) {
+	q := &m.qs[int(m.rr.Add(1)-1)%len(m.qs)]
+	q.push(prio, word)
+}
+
+// popOwn pops the deeper head of the worker's own pair. The head peeks
+// are racy by design — relaxation means any popped head is acceptable —
+// and a pop lost to a concurrent thief just re-examines the pair.
+func (m *multiQueue) popOwn(self int) (int64, bool) {
+	a, b := &m.qs[2*self], &m.qs[2*self+1]
+	for {
+		an, bn := a.n.Load(), b.n.Load()
+		switch {
+		case an == 0 && bn == 0:
+			return 0, false
+		case an == 0:
+			if w, ok := b.tryPop(); ok {
+				return w, true
+			}
+		case bn == 0:
+			if w, ok := a.tryPop(); ok {
+				return w, true
+			}
+		default:
+			first, second := a, b
+			if b.top.Load() > a.top.Load() {
+				first, second = b, a
+			}
+			if w, ok := first.tryPop(); ok {
+				return w, true
+			}
+			if w, ok := second.tryPop(); ok {
+				return w, true
+			}
+		}
+	}
+}
+
+// mqSweepProbes is how many pick-2-random probes a sweeping worker makes
+// before it falls back to the exhaustive scan.
+const mqSweepProbes = 4
+
+// sweep finds work for an idle worker: pick-2-random probes over all
+// queues popping the deeper head, then an exhaustive scan so returning
+// false proves every queue was observed empty. foreign reports whether
+// the task came from outside the worker's own pair (a steal).
+func (m *multiQueue) sweep(self int, rng *uint64) (word int64, ok, foreign bool) {
+	n := uint64(len(m.qs))
+	for probe := 0; probe < mqSweepProbes; probe++ {
+		*rng ^= *rng << 13
+		*rng ^= *rng >> 7
+		*rng ^= *rng << 17
+		i := int(*rng % n)
+		*rng ^= *rng << 13
+		*rng ^= *rng >> 7
+		*rng ^= *rng << 17
+		j := int(*rng % n)
+		qi := i
+		if m.qs[j].n.Load() > 0 &&
+			(m.qs[i].n.Load() == 0 || m.qs[j].top.Load() > m.qs[i].top.Load()) {
+			qi = j
+		}
+		if m.qs[qi].n.Load() == 0 {
+			continue
+		}
+		if w, popped := m.qs[qi].tryPop(); popped {
+			return w, true, qi/2 != self
+		}
+	}
+	for i := range m.qs {
+		if w, popped := m.qs[i].tryPop(); popped {
+			return w, true, i/2 != self
+		}
+	}
+	return 0, false, false
+}

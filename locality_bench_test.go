@@ -63,6 +63,7 @@ func benchEngineGraph(b *testing.B, e *exec.Engine, g *core.Graph) {
 	if t := e.Topology(); t != nil {
 		before = t.Stats()
 	}
+	schedBefore := e.SchedStats()
 	strands := float64(len(p.Leaves))
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -72,7 +73,10 @@ func benchEngineGraph(b *testing.B, e *exec.Engine, g *core.Graph) {
 		}
 	}
 	b.StopTimer()
+	sched := e.SchedStats()
 	b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+	b.ReportMetric(float64(sched.Steals-schedBefore.Steals)/float64(b.N), "steals/run")
+	b.ReportMetric(float64(sched.CrossPops-schedBefore.CrossPops)/float64(b.N), "xpops/run")
 	if t := e.Topology(); t != nil {
 		s := t.Stats()
 		runs := float64(b.N)

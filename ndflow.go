@@ -185,10 +185,41 @@ type Engine = exec.Engine
 // (exactly once) to block until it completes.
 type Submission = exec.Run
 
+// Policy selects an engine's ready-structure and ordering discipline.
+// Every policy produces bit-identical outputs; only the order in which
+// ready strands start differs. See DESIGN.md's "exec: scheduling
+// policies" section.
+type Policy = exec.Policy
+
+// EngineOption configures NewEngine.
+type EngineOption = exec.Option
+
+// The scheduling policies: FIFO submission order with LIFO/steal deques
+// (the default), critical-path-first by compile-time depth-to-sink, and
+// the relaxed MultiQueue structure trading strict priority order for
+// contention-free throughput.
+const (
+	PolicyFIFO         = exec.PolicyFIFO
+	PolicyCriticalPath = exec.PolicyCriticalPath
+	PolicyRelaxed      = exec.PolicyRelaxed
+)
+
+// WithPolicy selects the engine's scheduling policy.
+func WithPolicy(p Policy) EngineOption { return exec.WithPolicy(p) }
+
 // NewEngine starts an engine with the given worker count (GOMAXPROCS when
 // workers ≤ 0). Submit work with Engine.Run or Engine.Submit; shut it
-// down with Engine.Close.
-func NewEngine(workers int) *Engine { return exec.NewEngine(workers) }
+// down with Engine.Close. Options select the scheduling policy, e.g.
+// NewEngine(8, WithPolicy(PolicyCriticalPath)).
+func NewEngine(workers int, opts ...EngineOption) *Engine { return exec.NewEngine(workers, opts...) }
+
+// NewRelaxedEngine starts an engine whose ready structure is a relaxed
+// MultiQueue keyed by depth-to-sink: per-worker queue pairs with
+// pick-2-random stealing, approximating priority order within
+// O(workers·log workers) rank inversions w.h.p. while keeping pops
+// contention-free. Shorthand for NewEngine(workers,
+// WithPolicy(PolicyRelaxed)).
+func NewRelaxedEngine(workers int) *Engine { return exec.NewRelaxedEngine(workers) }
 
 // NewLocalityEngine starts an engine whose workers are grouped into cache
 // domains shaped like a real machine (pmh.DefaultSpec at the given worker
