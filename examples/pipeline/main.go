@@ -28,6 +28,12 @@ func run(w io.Writer) error {
 	eng := ndflow.NewEngine(4)
 	defer eng.Close()
 
+	// The main goroutine will feed the input futures while the run is in
+	// flight: register as an external resolver so the engine's deadlock
+	// watchdog knows the parked stages are still going to be fed.
+	release := eng.RegisterResolver()
+	defer release()
+
 	in := make([]*ndflow.Future, items)     // fed externally, in flight
 	parsed := make([]*ndflow.Future, items) // stage 1 output
 	squared := make([]*ndflow.Future, items)

@@ -1,0 +1,98 @@
+package ndflow_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	ndflow "github.com/ndflow/ndflow"
+)
+
+func panickyGraph(t *testing.T) *ndflow.Graph {
+	t.Helper()
+	root := ndflow.Seq(
+		ndflow.Strand("ok", 1, nil, nil, func() {}),
+		ndflow.Strand("bad", 1, nil, nil, func() { panic("public boom") }),
+		ndflow.Strand("tail", 1, nil, nil, func() {}),
+	)
+	p, err := ndflow.NewProgram(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ndflow.Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRunPanicTypedAllWorkerCounts is the regression test for the
+// workers knob: every path through ndflow.Run — the 1-worker
+// serial-replay fast path, dedicated pools, and the shared default
+// engine (workers <= 0) — must surface a body panic as the same typed
+// *StrandPanicError.
+func TestRunPanicTypedAllWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		err := ndflow.Run(panickyGraph(t), workers)
+		var pe *ndflow.StrandPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Run(workers=%d) = %v, want *StrandPanicError", workers, err)
+		}
+		if pe.Value != "public boom" || pe.Label != "bad" {
+			t.Fatalf("Run(workers=%d) captured strand %q value %v", workers, pe.Label, pe.Value)
+		}
+	}
+}
+
+// TestPublicFailureSurface exercises the exported failure aliases:
+// cancellation and context deadlines through the public Engine type.
+func TestPublicFailureSurface(t *testing.T) {
+	eng := ndflow.NewEngine(2)
+	defer eng.Close()
+
+	g := panickyGraph(t)
+	r, err := eng.Submit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *ndflow.StrandPanicError
+	if err := r.Wait(); !errors.As(err, &pe) {
+		t.Fatalf("engine Wait = %v, want *StrandPanicError", err)
+	}
+
+	slow := func() *ndflow.Graph {
+		root := ndflow.Seq(
+			ndflow.Strand("s0", 1, nil, nil, func() { time.Sleep(30 * time.Millisecond) }),
+			ndflow.Strand("s1", 1, nil, nil, func() { time.Sleep(30 * time.Millisecond) }),
+		)
+		p, err := ndflow.NewProgram(root, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg, err := ndflow.Rewrite(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gg
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	cr, err := eng.SubmitCtx(ctx, slow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitCtx Wait = %v, want DeadlineExceeded", err)
+	}
+
+	xr, err := eng.Submit(slow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr.Cancel()
+	if err := xr.Wait(); err != nil && !errors.Is(err, ndflow.ErrRunCanceled) {
+		t.Fatalf("Cancel Wait = %v, want nil or ErrRunCanceled", err)
+	}
+}

@@ -37,19 +37,42 @@
 // through the compiled engine — see jit.go (adaptive replay
 // compilation).
 //
-// A dynamic program that waits on a future nobody resolves deadlocks like
-// any Go program that blocks forever — the runtime does not detect it. A
-// panic in a task body crashes the process, matching the compiled
-// runtimes' behaviour for panicking strand closures.
+// Failure follows the engine's failure model (see exec): a panic in a
+// task body is contained — the run fails with a *exec.StrandPanicError,
+// remaining bodies are skipped at dispatch, and the spawn-tree cascade
+// still drains so Wait returns instead of hanging. A run that parks on
+// futures nobody can resolve is detected by the engine's quiescence
+// watchdog (all workers parked, no external resolver registered — see
+// exec.Engine.RegisterResolver) and failed with an
+// *exec.UnresolvedFutureError; cancelling a run (exec.Run.Cancel)
+// likewise force-drains its parked continuations.
 package dyn
 
 import (
+	"errors"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/exec"
 )
+
+// errRunAborted is the panic sentinel that unwinds a task body whose run
+// has failed (panic elsewhere, cancellation, or watchdog): structural
+// calls throw it at entry, and a continuation resumed after a force-drain
+// throws it out of the suspension point. runBody recovers it by identity
+// — it is an unwind mechanism, not a failure of this body.
+var errRunAborted = errors.New("dyn: run aborted")
+
+// abortCheck unwinds the calling body when its run has already failed,
+// so cancelled runs stop at the next structural call instead of running
+// their bodies to completion.
+func (r *run) abortCheck() {
+	if r.r.Failed() != nil {
+		panic(errRunAborted)
+	}
+}
 
 // Task is the body of a dynamic strand. The Context is valid only for the
 // duration of the call and only on the calling goroutine.
@@ -309,6 +332,58 @@ func (r *run) Retire() {
 	runPool.Put(r)
 }
 
+// Discard implements exec.DynRun: drop a failed run's state without
+// pooling it. A force-drained run's frames hold claimed (zeroed or
+// negative) wait counters and external Puts may still be racing toward
+// its futures' waiter nodes, so rewinding and reusing the frames would
+// hand corrupted counters to an unrelated run — the only sound option is
+// to let the garbage collector take the whole table. A program-owned run
+// reports the failure so a partial recording is discarded and the shape
+// streak restarts.
+func (r *run) Discard() {
+	if p := r.prog; p != nil {
+		wasRec := r.recording
+		if wasRec {
+			r.recorder.fail()
+		}
+		r.prog, r.observing, r.recording, r.recorder = nil, false, false, nil
+		p.runFailed(wasRec)
+	}
+	r.eng, r.r, r.root = nil, nil, nil
+}
+
+// DrainStalled implements exec.DynRun: force-drain every continuation
+// parked behind an unresolved wait counter. Called by the engine's
+// quiescence watchdog (or for a cancelled run) only while the pool is
+// quiescent, so no frame of this run is concurrently executing; racing
+// external Puts are still possible and are tolerated — a Put that loses
+// the CAS claim decrements the counter below zero and never publishes,
+// and the frames are never reused because failed runs are discarded, not
+// pooled. Claimed frames re-enter dispatch as ordinary task words: a
+// gated child's body is skipped (the run is failed), a parked Get
+// resumes through the donation path and unwinds via errRunAborted —
+// either way the spawn-tree cascade drains and Wait returns.
+func (r *run) DrainStalled(fail func(parked int)) {
+	var words []int64
+	for _, fr := range *r.tab.Load() {
+		for {
+			v := fr.wait.Load()
+			if v <= 0 {
+				break
+			}
+			if fr.wait.CompareAndSwap(v, 0) {
+				words = append(words, r.word(fr))
+				break
+			}
+		}
+	}
+	// Fail the run before publishing the claimed words, so every one of
+	// them dispatches against an already-failed run (first failure wins:
+	// a cancelled run being drained keeps its cancellation error).
+	fail(len(words))
+	r.eng.Inject(words...)
+}
+
 // newFrame takes a frame for fn under parent from the run's table: a free
 // index reuses its resident frame in place, growing the copy-on-write
 // table by one slab only when every frame is live. With a worker identity
@@ -466,11 +541,7 @@ func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
 		return false, true
 	}
 	fr.w = w
-	if fr.fn != nil {
-		fr.fn(&fr.ctx)
-	} else {
-		fr.xfn(&fr.ctx, fr.x)
-	}
+	r.runBody(fr)
 	if p := fr.pend; p >= 0 {
 		// The last spawned child chains as the worker's next task: no
 		// deque round trip at all for the tail of a spawn chain.
@@ -478,6 +549,32 @@ func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
 		w.PushChained(p)
 	}
 	return r.bodyDone(fr), false
+}
+
+// runBody executes the frame's body under the run-level panic guard: a
+// failed run's bodies are skipped entirely (the spawn-tree cascade still
+// drains through bodyDone), a real panic installs the run's first
+// failure, and the errRunAborted unwind of an aborted continuation is
+// absorbed. The guard lives here — around the whole body invocation,
+// suspensions included — so a panic after a mid-body park is recovered
+// on the goroutine that owns the donated worker identity, and the
+// donation machinery stays re-armed for the engine's next run.
+func (r *run) runBody(fr *frame) {
+	if r.r.Failed() != nil {
+		return
+	}
+	defer func() {
+		switch p := recover(); p {
+		case nil, errRunAborted:
+		default:
+			r.r.Fail(&exec.StrandPanicError{Strand: fr.idx, Label: "dyn", Value: p, Stack: debug.Stack()})
+		}
+	}()
+	if fr.fn != nil {
+		fr.fn(&fr.ctx)
+	} else {
+		fr.xfn(&fr.ctx, fr.x)
+	}
 }
 
 // bodyDone performs the implicit sync at body return: the frame completes
@@ -557,6 +654,7 @@ func (c *Context) Spawn(fn Task) {
 	}
 	fr := c.fr
 	r := fr.run
+	r.abortCheck()
 	child := r.newFrame(fr.w, fr, fn)
 	fr.kids.Add(1)
 	if r.observing {
@@ -580,6 +678,7 @@ func (c *Context) SpawnAfter(fn Task, deps ...*Future) {
 	}
 	fr := c.fr
 	r := fr.run
+	r.abortCheck()
 	child := r.newFrame(fr.w, fr, fn)
 	fr.kids.Add(1)
 	if r.observing {
@@ -601,6 +700,7 @@ func (c *Context) SpawnFor(fn func(*Context, int64), x int64, deps ...*Future) {
 	}
 	fr := c.fr
 	r := fr.run
+	r.abortCheck()
 	child := r.newFrame(fr.w, fr, nil)
 	child.xfn, child.x = fn, x
 	fr.kids.Add(1)
@@ -629,6 +729,7 @@ func (c *Context) SpawnForRange(fn func(*Context, int64), lo, hi int64) {
 	}
 	fr := c.fr
 	r := fr.run
+	r.abortCheck()
 	fr.kids.Add(int32(hi - lo))
 	for x := lo; x < hi; x++ {
 		child := r.takeFrame(fr.w)
@@ -702,6 +803,10 @@ func (c *Context) Sync() {
 		fr.state.Store(stateRunning)
 	}
 	fr.kids.Store(1) // re-arm the guard for the next spawn phase
+	// Abort only after the guard is re-armed: the errRunAborted unwind
+	// runs bodyDone, which relies on the guard being exactly 1 here — an
+	// un-re-armed guard would corrupt the kids accounting of the cascade.
+	fr.run.abortCheck()
 }
 
 // Submit enqueues a dynamic run executing root on the engine and returns

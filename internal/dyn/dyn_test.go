@@ -235,6 +235,10 @@ func TestExternalPutInjector(t *testing.T) {
 	// through the engine's injector, not a worker deque.
 	e := exec.NewEngine(2)
 	defer e.Close()
+	// The test goroutine is the resolver; register so the quiescence
+	// watchdog keeps its hands off the parked run.
+	release := e.RegisterResolver()
+	defer release()
 	in := NewFuture()
 	var got atomic.Int64
 	er, err := Submit(e, func(c *Context) {
@@ -413,6 +417,10 @@ func TestPutAcrossEngines(t *testing.T) {
 	defer ea.Close()
 	eb := exec.NewEngine(2)
 	defer eb.Close()
+	// Engine B is an external resolver from A's point of view: A's
+	// watchdog cannot see B's in-flight Put, so declare it.
+	release := ea.RegisterResolver()
+	defer release()
 	f := NewFuture()
 	var got atomic.Int64
 	ra, err := Submit(ea, func(c *Context) {

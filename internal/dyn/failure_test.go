@@ -1,0 +1,193 @@
+package dyn
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ndflow/ndflow/internal/exec"
+)
+
+// TestDynPanicContained: a panic in a spawned task body becomes a typed
+// *StrandPanicError from Wait, sibling work already running finishes,
+// and the engine serves a clean dynamic run immediately after.
+func TestDynPanicContained(t *testing.T) {
+	e := exec.NewEngine(4)
+	defer e.Close()
+	var clean atomic.Int32
+	err := Run(e, func(c *Context) {
+		for i := 0; i < 8; i++ {
+			c.Spawn(func(c *Context) { clean.Add(1) })
+		}
+		c.Spawn(func(c *Context) { panic("dyn boom") })
+	})
+	var pe *exec.StrandPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run = %v, want *StrandPanicError", err)
+	}
+	if pe.Value != "dyn boom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic captured badly: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+	var n atomic.Int32
+	if err := Run(e, func(c *Context) {
+		c.SpawnForRange(func(c *Context, i int64) { n.Add(1) }, 0, 64)
+	}); err != nil {
+		t.Fatalf("clean run after panic: %v", err)
+	}
+	if n.Load() != 64 {
+		t.Fatalf("clean run after panic executed %d of 64", n.Load())
+	}
+}
+
+// TestDynPanicAfterSuspension: the panic fires in a continuation that
+// already parked on a future and was resumed — the recover must land on
+// the resumed worker (whose slot donation has been re-armed) and still
+// produce the typed error, with the engine healthy after.
+func TestDynPanicAfterSuspension(t *testing.T) {
+	e := exec.NewEngine(2)
+	defer e.Close()
+	gate := NewFuture()
+	val := NewFuture()
+	err := Run(e, func(c *Context) {
+		c.Spawn(func(c *Context) {
+			gate.Get(c)
+			val.Put(c, "x")
+		})
+		c.Spawn(func(c *Context) {
+			gate.Put(c, nil)
+			v := val.Get(c) // real suspension: val unresolvable until after park
+			panic("after resume: " + v.(string))
+		})
+	})
+	var pe *exec.StrandPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run = %v, want *StrandPanicError", err)
+	}
+	if pe.Value != "after resume: x" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if err := Run(e, func(c *Context) {}); err != nil {
+		t.Fatalf("engine unhealthy after post-suspension panic: %v", err)
+	}
+}
+
+// TestDynCancelDrainsParked: cancelling a run whose strands are parked
+// on a future that will never resolve must force-drain the parked
+// continuations so Wait returns ErrRunCanceled instead of hanging —
+// even while an external resolver is registered (cancellation does not
+// wait for the feed).
+func TestDynCancelDrainsParked(t *testing.T) {
+	e := exec.NewEngine(2)
+	defer e.Close()
+	release := e.RegisterResolver()
+	defer release()
+	never := NewFuture()
+	var after atomic.Int32
+	r, err := Submit(e, func(c *Context) {
+		for i := 0; i < 4; i++ {
+			c.Spawn(func(c *Context) {
+				never.Get(c)
+				after.Add(1)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the getters park
+	r.Cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- r.Wait() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, exec.ErrRunCanceled) {
+			t.Fatalf("Wait = %v, want ErrRunCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Cancel did not drain parked continuations")
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d parked bodies resumed past the unresolved Get", after.Load())
+	}
+}
+
+// TestDynWatchdogUnresolvedFuture: with no external resolver registered,
+// a run parked on a future nothing can resolve is a deadlock; the
+// quiescence watchdog fails it with *UnresolvedFutureError naming the
+// parked strand count.
+func TestDynWatchdogUnresolvedFuture(t *testing.T) {
+	e := exec.NewEngine(2)
+	defer e.Close()
+	never := NewFuture()
+	r, err := Submit(e, func(c *Context) {
+		never.Get(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- r.Wait() }()
+	select {
+	case err := <-errc:
+		var ue *exec.UnresolvedFutureError
+		if !errors.As(err, &ue) {
+			t.Fatalf("Wait = %v, want *UnresolvedFutureError", err)
+		}
+		if ue.Parked < 1 {
+			t.Fatalf("Parked = %d, want >= 1", ue.Parked)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlocked run hung Wait: watchdog never fired")
+	}
+	if err := Run(e, func(c *Context) {}); err != nil {
+		t.Fatalf("engine unhealthy after watchdog rescue: %v", err)
+	}
+}
+
+// TestProgramRecordingPanicDiscards: a panic during a recording run must
+// discard the partial recording (veto, streak reset) rather than
+// compile a half-observed shape — and the program must still compile
+// from subsequent clean runs.
+func TestProgramRecordingPanicDiscards(t *testing.T) {
+	e := exec.NewEngine(4)
+	defer e.Close()
+	var boom atomic.Bool
+	p := NewProgram(func(c *Context) {
+		c.Spawn(func(c *Context) {
+			if boom.Load() {
+				panic("recording boom")
+			}
+		})
+		c.Spawn(func(c *Context) {})
+	}, JITConfig{Threshold: 1})
+
+	if err := p.Run(e); err != nil { // observe: streak reaches threshold
+		t.Fatal(err)
+	}
+	boom.Store(true) // this run records — and panics mid-recording
+	err := p.Run(e)
+	var pe *exec.StrandPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("recording run = %v, want *StrandPanicError", err)
+	}
+	if p.Compiled() {
+		t.Fatal("partial recording compiled despite the panic")
+	}
+	st := p.Stats()
+	if st.Records != 1 || st.Vetoes != 1 {
+		t.Fatalf("stats after discarded recording: %+v", st)
+	}
+	boom.Store(false)
+	for i := 0; i < 3 && !p.Compiled(); i++ { // observe, record, done
+		if err := p.Run(e); err != nil {
+			t.Fatalf("clean run %d after discard: %v", i, err)
+		}
+	}
+	if !p.Compiled() {
+		t.Fatal("program never recovered compilation after a discarded recording")
+	}
+	if err := p.Run(e); err != nil {
+		t.Fatalf("replay after recovery: %v", err)
+	}
+}

@@ -171,6 +171,7 @@ func (f *Future) Get(c *Context) any {
 	}
 	fr := c.fr
 	r := fr.run
+	r.abortCheck()
 	if r.observing {
 		fr.eh = mix2(fr.eh, opGet)
 		if r.recording {
@@ -211,6 +212,10 @@ func (f *Future) Get(c *Context) any {
 			r.recorder.fail()
 		}
 		fr.park()
+		// The wake word may be a force-drain (cancellation or the
+		// quiescence watchdog claimed our wait counter, not a Put): the
+		// value never arrived, so unwind instead of returning garbage.
+		r.abortCheck()
 	} else {
 		// Put drained the counter while we were registering: the wake
 		// word was never published (Put's decrement saw 2→1), so the

@@ -320,6 +320,22 @@ func (p *Program) runRetired(key uint64, rec *recorder) {
 	p.mu.Unlock()
 }
 
+// runFailed is called by the run's Discard when a program-owned run
+// failed (panic, cancellation, watchdog). A failed recording run
+// releases the recording slot and charges a veto — its half-captured
+// binding must never be installed — and any failed run resets the shape
+// streak: the failed run's key was never folded, so the streak no longer
+// describes consecutive observations.
+func (p *Program) runFailed(wasRecording bool) {
+	p.mu.Lock()
+	if wasRecording {
+		p.recording = false
+		p.vetoLocked()
+	}
+	p.shape, p.streak = 0, 0
+	p.mu.Unlock()
+}
+
 // vetoLocked charges one abandoned recording attempt.
 func (p *Program) vetoLocked() {
 	p.stats.Vetoes++

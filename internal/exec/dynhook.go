@@ -52,6 +52,26 @@ type DynRun interface {
 	// Run.Wait after the run completed without error, once the engine
 	// holds no reference to the run.
 	Retire()
+
+	// Discard drops the run's state without pooling it. Called exactly
+	// once by Run.Wait in place of Retire when the run failed (panic,
+	// cancellation, or watchdog): a failed run's frames may hold claimed
+	// wait counters and racing external Puts, so reusing them is unsound.
+	Discard()
+
+	// DrainStalled force-drains the run's parked continuations after the
+	// engine's quiescence watchdog found the pool quiescent with this run
+	// still holding its latch: every frame parked behind an unresolved
+	// future is claimed and re-injected as a skip-at-dispatch task word,
+	// so the run's tracker drains and Wait returns. The implementation
+	// calls fail(parked) with the claimed strand count BEFORE injecting,
+	// so the run is already failed when the claimed words dispatch; fail
+	// is first-failure-wins (a no-op on a run that already failed — a
+	// cancelled run being drained keeps ErrRunCanceled). Called outside
+	// the engine mutex, on a worker at the park edge; only called while
+	// the pool is quiescent, so no frame of the run is concurrently
+	// executing.
+	DrainStalled(fail func(parked int))
 }
 
 // Worker is a goroutine's scheduling identity inside an engine: the deque
@@ -226,7 +246,10 @@ func (e *Engine) SubmitDyn(d DynRun) (*Run, error) {
 	}
 	r := e.getRunLocked()
 	r.inst, r.pool, r.err, r.dyn = nil, nil, nil, d
+	r.failv.Store(nil)
+	r.rescued = false
 	slot := e.allocSlotLocked(r)
+	r.live = true
 	root := d.Bind(r, slot)
 	e.inject = append(e.inject, PackDynTask(slot, root))
 	e.active++

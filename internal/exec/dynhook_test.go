@@ -53,6 +53,13 @@ func (d *fakeDyn) Bind(r *Run, slot int32) int32 {
 
 func (d *fakeDyn) Retire() { d.retired.Add(1) }
 
+func (d *fakeDyn) Discard() {}
+
+// DrainStalled reports the parked root as the one stalled strand; the
+// tests register a resolver before parking the root, so the watchdog
+// never actually reaches this on a healthy run.
+func (d *fakeDyn) DrainStalled(fail func(parked int)) { fail(1) }
+
 func (d *fakeDyn) Exec(w *Worker, id int32) (finished, detached bool) {
 	switch {
 	case id > 0:
@@ -90,6 +97,11 @@ func (d *fakeDyn) Exec(w *Worker, id int32) (finished, detached bool) {
 func TestSubmitDynProtocol(t *testing.T) {
 	e := NewEngine(2)
 	defer e.Close()
+	// The test resumes the parked root from outside the pool, so declare
+	// itself as the external resolver or the quiescence watchdog would
+	// fail the run as deadlocked first.
+	release := e.RegisterResolver()
+	defer release()
 	d := &fakeDyn{fan: 16, sem: make(chan int, 1)}
 	r, err := e.SubmitDyn(d)
 	if err != nil {
@@ -129,6 +141,8 @@ func TestSubmitDynClosedEngine(t *testing.T) {
 func TestDynInterleavesCompiled(t *testing.T) {
 	e := NewEngine(2)
 	defer e.Close()
+	release := e.RegisterResolver()
+	defer release()
 	g := buildDiamond(t)
 	d := &fakeDyn{fan: 64, sem: make(chan int, 1)}
 	r, err := e.SubmitDyn(d)

@@ -1,11 +1,14 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/pmh"
@@ -42,13 +45,52 @@ const (
 type Option func(*engineConfig)
 
 type engineConfig struct {
-	policy Policy
+	policy    Policy
+	faultFn   func(strand int32) Fault
+	unguarded bool
 }
 
 // WithPolicy selects the scheduling policy. PolicyRelaxed is equivalent
 // to NewRelaxedEngine.
 func WithPolicy(p Policy) Option {
 	return func(c *engineConfig) { c.policy = p }
+}
+
+// Fault is a fault-injection decision returned by a WithFaultInjector
+// hook for one compiled strand dispatch.
+type Fault int32
+
+const (
+	// FaultNone dispatches the strand normally.
+	FaultNone Fault = iota
+	// FaultPanic panics in place of the strand body, through the same
+	// recover path a real body panic takes: the run fails with a
+	// *StrandPanicError and its remaining strands are skipped.
+	FaultPanic
+	// FaultDelay sleeps briefly before the strand body, widening race
+	// windows for the chaos harness.
+	FaultDelay
+	// FaultCancel cancels the strand's run at dispatch, as an external
+	// Run.Cancel racing the execution would.
+	FaultCancel
+)
+
+// WithFaultInjector installs a chaos hook consulted at every compiled
+// strand dispatch: the returned Fault is applied before the strand body
+// runs. The hook must be safe for concurrent use (workers call it in
+// parallel). Fault injection is a test harness — the hook costs one
+// predictable branch per dispatch when nil, and dynamic-run faults are
+// injected at the body level by the chaos tests instead.
+func WithFaultInjector(fn func(strand int32) Fault) Option {
+	return func(c *engineConfig) { c.faultFn = fn }
+}
+
+// WithUnguardedBodies disables the per-strand panic recover wrapper, so
+// a panicking body wedges the run as pre-failure-model engines did. It
+// exists only to measure the wrapper's overhead in paired benchmarks;
+// production engines must not use it.
+func WithUnguardedBodies() Option {
+	return func(c *engineConfig) { c.unguarded = true }
 }
 
 // Instance is the reusable per-graph run state: one ConcurrentTracker over
@@ -94,6 +136,79 @@ type Run struct {
 	slot int32
 	err  error
 	done chan struct{} // buffered(1); finish sends, Wait receives
+
+	// failv holds the run's first failure (a panic, a cancellation, or
+	// the watchdog's deadlock verdict), CAS-installed so exactly one
+	// wins. Workers load it at task-word dispatch: a failed run's
+	// remaining strand bodies are skipped, but their completions still
+	// run, so the tracker drains and Wait returns instead of hanging.
+	failv atomic.Pointer[runFailure]
+	// live and rescued are scheduling-state flags under the engine
+	// mutex: live marks the slot-holding window between submission and
+	// finish (the stall scan must not touch recycled handles through
+	// stale slot cells), rescued marks that the quiescence watchdog
+	// already force-drained this run once.
+	live    bool
+	rescued bool
+	// ctxStop/ctxDone belong to a WatchContext watcher: Wait must stop
+	// the watcher (or wait for it to finish) before recycling the
+	// handle, or a late context fire could cancel the handle's next run.
+	ctxStop func() bool
+	ctxDone chan struct{}
+}
+
+type runFailure struct{ err error }
+
+// Fail marks the run failed with err (first failure wins; reports
+// whether this call installed it) — the engine skips the run's remaining
+// strand bodies at dispatch while still draining their completions. It
+// is the engine's internal failure edge, exported for the dynamic
+// runtime; user code should use Cancel.
+func (r *Run) Fail(err error) bool {
+	return r.failv.CompareAndSwap(nil, &runFailure{err: err})
+}
+
+// Failed returns the run's failure, nil while it is healthy. It may be
+// read concurrently with the run's execution.
+func (r *Run) Failed() error {
+	if f := r.failv.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// Cancel requests cancellation of an in-flight run: remaining strand
+// bodies are skipped at dispatch, a dynamic run's parked continuations
+// are force-drained, and Wait returns ErrRunCanceled (unless the run
+// failed or finished first). Safe to call from any goroutine, and
+// idempotent — but only while the caller still owns the handle: a run
+// handle is recycled when Wait returns, so Cancel must not race the
+// completion of Wait.
+func (r *Run) Cancel() { r.cancelCause(ErrRunCanceled) }
+
+func (r *Run) cancelCause(err error) {
+	r.Fail(err)
+	// Wake the pool even if every worker is parked: the stall check at
+	// the park edge is what drains a cancelled dynamic run's parked
+	// continuations, and it only runs when a worker is awake to reach it.
+	r.eng.kick()
+}
+
+// WatchContext cancels the run when ctx is done, with ctx.Err() as the
+// failure (context.Canceled or context.DeadlineExceeded). Call it at
+// most once, before Wait; Wait releases the watcher. SubmitCtx and
+// RunCtx wire it up for compiled submissions; dynamic submitters can
+// call it on the handle Submit returns.
+func (r *Run) WatchContext(ctx context.Context) {
+	if ctx.Done() == nil {
+		return
+	}
+	done := make(chan struct{})
+	r.ctxDone = done
+	r.ctxStop = context.AfterFunc(ctx, func() {
+		r.cancelCause(ctx.Err())
+		close(done)
+	})
 }
 
 // Wait blocks until the run has executed every strand and returns its
@@ -103,6 +218,15 @@ type Run struct {
 // engine's pool (or rewinds a caller-owned instance for resubmission).
 func (r *Run) Wait() error {
 	<-r.done
+	if r.ctxStop != nil {
+		// Release the context watcher before recycling the handle. If the
+		// watcher already fired, wait for it to finish: a half-run watcher
+		// touching a recycled handle would cancel someone else's run.
+		if !r.ctxStop() {
+			<-r.ctxDone
+		}
+		r.ctxStop, r.ctxDone = nil, nil
+	}
 	err := r.err
 	e := r.eng
 	inst, pool := r.inst, r.pool
@@ -128,10 +252,16 @@ func (r *Run) Wait() error {
 	r.inst, r.pool, r.dyn = nil, nil, nil
 	e.freeRun = append(e.freeRun, r)
 	e.mu.Unlock()
-	if d != nil && err == nil {
-		// The engine holds no reference to the dynamic run anymore; hand
-		// its pooled state back for reuse.
-		d.Retire()
+	if d != nil {
+		if err == nil {
+			// The engine holds no reference to the dynamic run anymore;
+			// hand its pooled state back for reuse.
+			d.Retire()
+		} else {
+			// A failed dynamic run's state may hold claimed/negative wait
+			// counters and racing external Puts; drop it instead of pooling.
+			d.Discard()
+		}
 	}
 	return err
 }
@@ -233,6 +363,17 @@ type Engine struct {
 	// Together they are the cross-worker traffic SchedStats exposes.
 	steals    atomic.Uint64
 	crossPops atomic.Uint64
+
+	// guard selects the per-strand recover wrapper (on unless
+	// WithUnguardedBodies); faultFn is the chaos hook, nil in production.
+	guard   bool
+	faultFn func(strand int32) Fault
+	// resolvers counts registered external future resolvers
+	// (RegisterResolver). While it is nonzero the quiescence watchdog
+	// gives healthy dynamic runs the benefit of the doubt: a parked run
+	// may yet be fed through Inject, so only already-failed runs are
+	// force-drained.
+	resolvers atomic.Int32
 }
 
 // NewEngine starts an engine with the given worker count (GOMAXPROCS when
@@ -243,7 +384,7 @@ func NewEngine(workers int, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return newEngine(workers, nil, cfg.policy)
+	return newEngine(workers, nil, cfg)
 }
 
 // NewRelaxedEngine starts an engine whose compiled-strand ready
@@ -254,7 +395,7 @@ func NewEngine(workers int, opts ...Option) *Engine {
 // contention-free pops under heavy load. Shorthand for
 // NewEngine(workers, WithPolicy(PolicyRelaxed)).
 func NewRelaxedEngine(workers int) *Engine {
-	return newEngine(workers, nil, PolicyRelaxed)
+	return newEngine(workers, nil, engineConfig{policy: PolicyRelaxed})
 }
 
 // NewLocalityEngine starts an engine whose workers are grouped into cache
@@ -273,7 +414,7 @@ func NewLocalityEngine(workers int, spec pmh.Spec, sigma float64) (*Engine, erro
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(workers, topo, PolicyFIFO), nil
+	return newEngine(workers, topo, engineConfig{}), nil
 }
 
 // Topology returns the engine's steal topology, nil for flat engines.
@@ -305,7 +446,7 @@ func (e *Engine) SchedStats() SchedStats {
 	return SchedStats{Steals: e.steals.Load(), CrossPops: e.crossPops.Load()}
 }
 
-func newEngine(workers int, topo *Topology, policy Policy) *Engine {
+func newEngine(workers int, topo *Topology, cfg engineConfig) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -316,9 +457,11 @@ func newEngine(workers int, topo *Topology, policy Policy) *Engine {
 		pools:    make(map[*core.ExecGraph]*instPool),
 		cacheCap: defaultCacheCap,
 		topo:     topo,
-		policy:   policy,
+		policy:   cfg.policy,
+		guard:    !cfg.unguarded,
+		faultFn:  cfg.faultFn,
 	}
-	if policy == PolicyRelaxed {
+	if cfg.policy == PolicyRelaxed {
 		e.mq = newMultiQueue(workers)
 	}
 	e.cond = sync.NewCond(&e.mu)
@@ -401,6 +544,8 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 	}
 	r := e.getRunLocked()
 	r.inst, r.pool, r.err, r.dyn = inst, pool, nil, nil
+	r.failv.Store(nil)
+	r.rescued = false
 
 	initial := inst.ct.InitialReady()
 	if len(initial) == 0 {
@@ -414,6 +559,7 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 		return r, nil
 	}
 	slot := e.allocSlotLocked(r)
+	r.live = true
 	switch {
 	case e.mq != nil:
 		// Relaxed engine: spread the seed entries round-robin over every
@@ -536,6 +682,66 @@ func (e *Engine) Run(p *core.Program) error {
 		return err
 	}
 	return r.Wait()
+}
+
+// SubmitCtx is Submit plus context-driven cancellation: when ctx is done
+// before the run finishes, remaining strand bodies are skipped and Wait
+// returns ctx.Err(). A context without a Done channel costs nothing.
+func (e *Engine) SubmitCtx(ctx context.Context, g *core.Graph) (*Run, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r, err := e.Submit(g)
+	if err != nil {
+		return nil, err
+	}
+	r.WatchContext(ctx)
+	return r, nil
+}
+
+// RunCtx executes the program to completion under a context deadline:
+// SubmitProgram plus WatchContext plus Wait. When the context fires
+// first, RunCtx returns ctx.Err() (context.Canceled or
+// context.DeadlineExceeded) once the run's in-flight strands drain.
+func (e *Engine) RunCtx(ctx context.Context, p *core.Program) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r, err := e.SubmitProgram(p)
+	if err != nil {
+		return err
+	}
+	r.WatchContext(ctx)
+	return r.Wait()
+}
+
+// RegisterResolver declares an external future resolver: a goroutine
+// outside the worker pool that will resolve dynamic-run futures through
+// Future.Put / Engine.Inject. While at least one resolver is registered,
+// the engine's quiescence watchdog will not fail a healthy parked run as
+// deadlocked — the resolver may still feed it. The returned release
+// function (idempotent) withdraws the registration; the last release
+// re-arms the watchdog and wakes the pool so an already-stalled run is
+// detected promptly.
+func (e *Engine) RegisterResolver() (release func()) {
+	e.resolvers.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if e.resolvers.Add(-1) == 0 {
+				e.kick()
+			}
+		})
+	}
+}
+
+// kick wakes every parked worker without publishing work, so the parking
+// ladder's stall check re-runs against fresh run state.
+func (e *Engine) kick() {
+	e.mu.Lock()
+	e.epoch++
+	e.cond.Broadcast()
+	e.mu.Unlock()
 }
 
 // Close shuts the engine down: in-flight runs are drained, then the
@@ -714,12 +920,70 @@ func (e *Engine) acquire(self int, rng *uint64, buf []int64) (int64, []int64, bo
 			}
 			e.mu.Lock()
 			if e.epoch == ep {
-				e.cond.Wait()
+				// Last stop before parking. If this worker is the final one
+				// to arrive and there is still an active run, the pool is
+				// quiescent with a pending latch — run the watchdog: a
+				// stalled dynamic run's parked continuations are
+				// force-drained (failing the run) instead of hanging Wait
+				// forever. The drain publishes task words, bumping the
+				// epoch, so the ladder loops back around to consume them.
+				if stalled := e.stalledRunsLocked(); len(stalled) != 0 {
+					e.mu.Unlock()
+					e.rescue(stalled)
+					e.mu.Lock()
+				} else {
+					e.cond.Wait()
+				}
 			}
 			e.sleepers--
 			e.nSleep.Store(int32(e.sleepers))
 		}
 		e.mu.Unlock()
+	}
+}
+
+// stalledRunsLocked is the quiescence watchdog's detection step, called
+// under the engine mutex at the final park edge (the calling worker is
+// already counted in sleepers). The pool is quiescent iff every worker
+// is a sleeper, the injector is drained, and the epoch is unchanged —
+// then no unconsumed published work exists anywhere (deques, MultiQueue,
+// mailboxes are all swept before parking; deferred and pend words are
+// only held by running workers), so an active run's remaining strands
+// can only be parked behind unresolved futures. Such runs are stalled:
+// they will never finish unless an external resolver feeds them. When a
+// resolver is registered, healthy runs get the benefit of the doubt and
+// only already-failed (cancelled/panicked) runs are selected; each run
+// is selected at most once per submission (rescued flag).
+func (e *Engine) stalledRunsLocked() []*Run {
+	if e.sleepers != e.workers || e.active == 0 || len(e.inject) != e.injectHead {
+		return nil
+	}
+	ext := e.resolvers.Load() > 0
+	var stalled []*Run
+	for _, r := range *e.slots.Load() {
+		if r == nil || !r.live || r.dyn == nil || r.rescued {
+			continue
+		}
+		if ext && r.failv.Load() == nil {
+			continue
+		}
+		r.rescued = true
+		stalled = append(stalled, r)
+	}
+	return stalled
+}
+
+// rescue force-drains each stalled run: the run's parked continuations
+// are claimed and re-injected as skip-at-dispatch task words, so the
+// run's tracker drains to zero and Wait returns a typed error. The fail
+// callback installs UnresolvedFutureError unless the run already failed
+// (a cancelled run keeps ErrRunCanceled — drain is then just cleanup).
+func (e *Engine) rescue(stalled []*Run) {
+	for _, r := range stalled {
+		r := r
+		r.dyn.DrainStalled(func(parked int) {
+			r.Fail(&UnresolvedFutureError{Parked: parked})
+		})
 	}
 }
 
@@ -744,11 +1008,14 @@ func (e *Engine) wake(n int) {
 // the submitter is released. Exactly one worker per run gets done=true
 // from Complete, so finish runs once.
 func (e *Engine) finish(r *Run) {
-	if r.inst != nil && !r.inst.ct.Done() {
+	if f := r.Failed(); f != nil {
+		r.err = f
+	} else if r.inst != nil && !r.inst.ct.Done() {
 		r.err = fmt.Errorf("exec: engine run stalled at %d of %d strands (DAG deadlock)",
 			r.inst.ct.Executed(), r.inst.eg.NumStrands())
 	}
 	e.mu.Lock()
+	r.live = false
 	e.freeSlot = append(e.freeSlot, r.slot)
 	e.active--
 	if e.closed && e.active == 0 {
@@ -763,6 +1030,38 @@ func (e *Engine) finish(r *Run) {
 func (e *Engine) worker(self int) {
 	defer e.wg.Done()
 	e.workerLoop(newWorker(e, self))
+}
+
+// runLeaf executes one compiled strand body under the panic guard: a
+// failed run's remaining bodies are skipped (their completions still run,
+// so the tracker drains), and a panic installs the run's first failure as
+// a *StrandPanicError without taking the worker goroutine down.
+func (e *Engine) runLeaf(r *Run, id int32, label string, body func()) {
+	if r.failv.Load() != nil {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			r.Fail(&StrandPanicError{Strand: id, Label: label, Value: p, Stack: debug.Stack()})
+		}
+	}()
+	body()
+}
+
+// applyFault applies the chaos hook's decision for one compiled strand
+// dispatch. FaultPanic goes through runLeaf so the injected panic
+// exercises the same recover path a real body panic takes.
+func (e *Engine) applyFault(r *Run, id int32) {
+	switch e.faultFn(id) {
+	case FaultPanic:
+		e.runLeaf(r, id, "fault-injector", func() {
+			panic(fmt.Sprintf("injected fault at strand %d", id))
+		})
+	case FaultDelay:
+		time.Sleep(50 * time.Microsecond)
+	case FaultCancel:
+		r.Cancel()
+	}
 }
 
 // workerLoop drains tasks until the engine shuts down. It is entered by
@@ -817,8 +1116,15 @@ func (e *Engine) workerLoop(w *Worker) {
 		slot, id := unpackTask(t)
 		r := (*e.slots.Load())[slot]
 		inst := r.inst
+		if e.faultFn != nil {
+			e.applyFault(r, id)
+		}
 		if leaf := inst.eg.Strand(id); leaf.Run != nil {
-			leaf.Run()
+			if e.guard {
+				e.runLeaf(r, id, leaf.Label, leaf.Run)
+			} else {
+				leaf.Run()
+			}
 		}
 		var finished bool
 		ready, scratch, finished = inst.ct.Complete(id, ready[:0], scratch)

@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRunCanceled is the failure a Run carries after Cancel (or a
+// context-driven cancellation through SubmitCtx/RunCtx when the context
+// was canceled rather than timed out). Test with errors.Is.
+var ErrRunCanceled = errors.New("exec: run canceled")
+
+// StrandPanicError is the typed failure Run.Wait returns when a strand
+// body panicked: the first panic of the run is captured with the strand
+// that threw it and its stack; every remaining strand of the run is
+// skipped at task-word dispatch so the tracker still drains and the
+// engine stays healthy for later submissions.
+type StrandPanicError struct {
+	// Strand is the panicking strand's ID: the compiled strand index for
+	// engine and serial runs, the frame index for dynamic runs.
+	Strand int32
+	// Label is the strand's label ("dyn" for dynamic frames, which have
+	// no compile-time label).
+	Label string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery
+	// (runtime/debug.Stack).
+	Stack []byte
+}
+
+func (e *StrandPanicError) Error() string {
+	return fmt.Sprintf("exec: strand %d (%s) panicked: %v\n%s", e.Strand, e.Label, e.Value, e.Stack)
+}
+
+// UnresolvedFutureError is the typed failure the engine's quiescence
+// watchdog assigns to a dynamic run that can make no further progress:
+// every worker is parked, the run still holds its termination latch, its
+// remaining strands are parked behind unresolved futures, and no
+// external resolver is registered (Engine.RegisterResolver) that could
+// still feed it. The watchdog force-drains the parked continuations so
+// Wait returns this error instead of hanging.
+type UnresolvedFutureError struct {
+	// Parked is the number of parked strands the watchdog force-drained:
+	// continuations suspended in Future.Get plus children gated on
+	// unresolved futures at spawn (SpawnAfter/SpawnFor).
+	Parked int
+}
+
+func (e *UnresolvedFutureError) Error() string {
+	return fmt.Sprintf("exec: run stalled with %d strand(s) parked on unresolved futures and no external resolver registered (deadlock)", e.Parked)
+}

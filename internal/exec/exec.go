@@ -11,20 +11,41 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ndflow/ndflow/internal/core"
 )
+
+// guardBody runs one strand body under the panic guard shared by every
+// runtime in this file, converting a panic into the same
+// *StrandPanicError the engine returns — error behavior is identical
+// across the workers knob and the runtime choice.
+func guardBody(id int32, label string, body func()) *StrandPanicError {
+	var perr *StrandPanicError
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				perr = &StrandPanicError{Strand: id, Label: label, Value: p, Stack: debug.Stack()}
+			}
+		}()
+		body()
+	}()
+	return perr
+}
 
 // RunElision executes the program's strands in serial-elision (left-to-
 // right) order, verifying along the way that the elision is a legal
 // schedule of the DAG (it is, for every valid ND program).
 func RunElision(g *core.Graph) error {
 	t := core.NewTracker(g)
-	for _, leaf := range g.P.Leaves {
+	for i, leaf := range g.P.Leaves {
 		if leaf.Run != nil {
-			leaf.Run()
+			if perr := guardBody(int32(i), leaf.Label, leaf.Run); perr != nil {
+				return perr
+			}
 		}
 		if err := t.Complete(leaf); err != nil {
 			return err
@@ -52,7 +73,9 @@ func RunRandomTopo(g *core.Graph, seed int64) error {
 		pool[i] = pool[len(pool)-1]
 		pool = pool[:len(pool)-1]
 		if leaf := eg.Strand(id); leaf.Run != nil {
-			leaf.Run()
+			if perr := guardBody(id, leaf.Label, leaf.Run); perr != nil {
+				return perr
+			}
 		}
 		if err := t.CompleteID(id); err != nil {
 			return err
@@ -83,7 +106,9 @@ func RunReverseGreedy(g *core.Graph) error {
 		pool[best] = pool[len(pool)-1]
 		pool = pool[:len(pool)-1]
 		if leaf := eg.Strand(id); leaf.Run != nil {
-			leaf.Run()
+			if perr := guardBody(id, leaf.Label, leaf.Run); perr != nil {
+				return perr
+			}
 		}
 		if err := t.CompleteID(id); err != nil {
 			return err
@@ -117,7 +142,9 @@ func RunParallel(g *core.Graph, workers int) error {
 		// bookkeeping vanishes entirely: just run the schedule.
 		for _, id := range eg.TopoStrands() {
 			if leaf := eg.Strand(id); leaf.Run != nil {
-				leaf.Run()
+				if perr := guardBody(id, leaf.Label, leaf.Run); perr != nil {
+					return perr
+				}
 			}
 		}
 		if len(eg.TopoStrands()) != total {
@@ -145,6 +172,11 @@ func RunParallel(g *core.Graph, workers int) error {
 	for i, id := range initial {
 		deques[i%workers].push(int64(id))
 	}
+
+	// First panic wins; once set, remaining bodies are skipped but their
+	// completions still run, so the tracker drains and the pool exits
+	// through the normal quiescence path instead of wedging.
+	var failv atomic.Pointer[StrandPanicError]
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -186,8 +218,10 @@ func RunParallel(g *core.Graph, workers int) error {
 					}
 				}
 				idle = 0
-				if leaf := eg.Strand(int32(id)); leaf.Run != nil {
-					leaf.Run()
+				if leaf := eg.Strand(int32(id)); leaf.Run != nil && failv.Load() == nil {
+					if perr := guardBody(int32(id), leaf.Label, leaf.Run); perr != nil {
+						failv.CompareAndSwap(nil, perr)
+					}
 				}
 				ready, scratch, _ = ct.Complete(int32(id), ready[:0], scratch)
 				if n := len(ready); n > 0 {
@@ -203,6 +237,9 @@ func RunParallel(g *core.Graph, workers int) error {
 	}
 	wg.Wait()
 
+	if perr := failv.Load(); perr != nil {
+		return perr
+	}
 	if !ct.Done() {
 		return fmt.Errorf("exec: parallel run stalled at %d of %d strands (DAG deadlock)", ct.Executed(), total)
 	}
@@ -283,7 +320,17 @@ func RunParallelMutex(g *core.Graph, workers int) error {
 			mu.Unlock()
 
 			if leaf.Run != nil {
-				leaf.Run()
+				if perr := guardBody(int32(leaf.ID), leaf.Label, leaf.Run); perr != nil {
+					// Surface the panic through the existing runErr exit
+					// condition: the loop top sees it, broadcasts, and every
+					// worker drains out.
+					mu.Lock()
+					if runErr == nil {
+						runErr = perr
+					}
+					cond.Broadcast()
+					continue
+				}
 			}
 
 			mu.Lock()

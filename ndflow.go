@@ -207,6 +207,58 @@ const (
 // WithPolicy selects the engine's scheduling policy.
 func WithPolicy(p Policy) EngineOption { return exec.WithPolicy(p) }
 
+// --- Failure model
+//
+// Every strand body — compiled, serial, or dynamic — runs under a panic
+// guard: the first panic of a run is captured as a *StrandPanicError,
+// remaining bodies of that run are skipped at dispatch (their
+// completions still run, so the run drains and Wait returns), and the
+// engine stays healthy for later submissions. Runs can be cancelled
+// (Submission.Cancel, or Engine.SubmitCtx / Engine.RunCtx under a
+// context deadline), and a dynamic run parked on futures nobody can
+// resolve is failed by the engine's quiescence watchdog with an
+// *UnresolvedFutureError instead of hanging — register external feeders
+// with Engine.RegisterResolver. See DESIGN.md's "failure model" section.
+
+// StrandPanicError is the typed error Wait returns when a strand body
+// panicked: it carries the strand's ID and label, the panic value, and
+// the panicking goroutine's stack. Test with errors.As.
+type StrandPanicError = exec.StrandPanicError
+
+// UnresolvedFutureError is the typed error Wait returns when the
+// engine's quiescence watchdog failed a dynamic run that was parked on
+// unresolved futures with no registered external resolver (deadlock).
+type UnresolvedFutureError = exec.UnresolvedFutureError
+
+// ErrRunCanceled is the error a cancelled run's Wait returns (runs
+// cancelled through a context return the context's error instead). Test
+// with errors.Is.
+var ErrRunCanceled = exec.ErrRunCanceled
+
+// ErrEngineClosed is the typed error submissions to a closed engine
+// return. Test with errors.Is.
+var ErrEngineClosed = exec.ErrEngineClosed
+
+// FaultKind is a chaos-testing fault decision; see WithFaultInjector.
+type FaultKind = exec.Fault
+
+// The chaos-hook fault decisions: run the strand normally, panic through
+// the recover path, delay briefly, or cancel the strand's run.
+const (
+	FaultNone   = exec.FaultNone
+	FaultPanic  = exec.FaultPanic
+	FaultDelay  = exec.FaultDelay
+	FaultCancel = exec.FaultCancel
+)
+
+// WithFaultInjector installs a chaos hook consulted at every compiled
+// strand dispatch — a test harness for proving systems built on the
+// engine survive panics, delays, and cancellations at arbitrary points.
+// The hook must be safe for concurrent use.
+func WithFaultInjector(fn func(strand int32) FaultKind) EngineOption {
+	return exec.WithFaultInjector(fn)
+}
+
 // NewEngine starts an engine with the given worker count (GOMAXPROCS when
 // workers ≤ 0). Submit work with Engine.Run or Engine.Submit; shut it
 // down with Engine.Close. Options select the scheduling policy, e.g.

@@ -175,9 +175,22 @@ func BenchmarkRunParallelMutexLU(b *testing.B) {
 // graph, the instance pool serves a generation-rewound tracker, and a run
 // allocates nothing (the allocs/op column is the claim).
 func BenchmarkEngineRerun(b *testing.B) {
+	benchEngineRerun(b)
+}
+
+// BenchmarkEngineRerunUnguarded is the paired control for the failure
+// model's overhead claim: the same cached FW-256/4 rerun with the panic
+// recover wrapper disabled. The guarded/unguarded delta is the total
+// per-strand price of panic containment (one branch plus one deferred
+// recover per dispatched body) and must stay within 2% of this control.
+func BenchmarkEngineRerunUnguarded(b *testing.B) {
+	benchEngineRerun(b, exec.WithUnguardedBodies())
+}
+
+func benchEngineRerun(b *testing.B, opts ...exec.Option) {
 	g := fwSchedGraph(b, 256, 4)
 	p := g.P
-	e := exec.NewEngine(0)
+	e := exec.NewEngine(0, opts...)
 	defer e.Close()
 	for i := 0; i < 3; i++ { // warm: compile cache, instance pool, deque growth
 		if err := e.Run(p); err != nil {
