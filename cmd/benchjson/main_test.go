@@ -57,6 +57,26 @@ func TestParse(t *testing.T) {
 			}},
 		},
 		{
+			name: "scheduling telemetry columns pass through",
+			in: "BenchmarkFlatEngineRerun-4   \t    5000\t    264811 ns/op\t         0 steals/run\t  15467000 strands/s\t         0 xpops/run\t         1.000 parks/run\t       0 B/op\t       0 allocs/op\n" +
+				"BenchmarkRelaxedEngineLULive-4   \t      20\t  41288000 ns/op\t        37.10 steals/run\t    318210 strands/s\t       201.4 xpops/run\t         3.550 parks/run\t     131 B/op\t       2 allocs/op\n",
+			want: []result{{
+				Name:  "BenchmarkFlatEngineRerun",
+				Iters: 5000,
+				Metrics: map[string]float64{
+					"ns/op": 264811, "steals/run": 0, "strands/s": 15467000,
+					"xpops/run": 0, "parks/run": 1, "B/op": 0, "allocs/op": 0,
+				},
+			}, {
+				Name:  "BenchmarkRelaxedEngineLULive",
+				Iters: 20,
+				Metrics: map[string]float64{
+					"ns/op": 41288000, "steals/run": 37.10, "strands/s": 318210,
+					"xpops/run": 201.4, "parks/run": 3.55, "B/op": 131, "allocs/op": 2,
+				},
+			}},
+		},
+		{
 			name: "verbose announcement line skipped",
 			in:   "BenchmarkDynSpawnJoin\nBenchmarkDynSpawnJoin-8   \t    3000\t    420000 ns/op\n",
 			want: []result{{

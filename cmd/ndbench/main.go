@@ -46,6 +46,7 @@ import (
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/experiments"
 	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 func main() {
@@ -66,6 +67,8 @@ func main() {
 		dynMode    = flag.Bool("dyn", false, "serving mode: add the dynamic runtime (online Spawn/Future replay) as a third row")
 		locality   = flag.Bool("locality", false, "serving mode: add the locality-aware engine (cache-domain anchoring on pmh.DefaultSpec(workers)) as another row")
 		policy     = flag.String("policy", "", "serving mode: add a priority-scheduling engine row: critpath (depth-to-sink fan-out ordering) or relaxed (per-worker MultiQueue pairs)")
+		traceOut   = flag.String("trace", "", "serving mode: write a Chrome trace (about:tracing / Perfetto) of one engine run to FILE")
+		metricsOut = flag.Bool("metrics", false, "serving mode: append the engine's telemetry counter snapshot as a table")
 	)
 	flag.Parse()
 
@@ -76,12 +79,12 @@ func main() {
 		return
 	}
 	if *serve {
-		table, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies, *dynMode, *locality, *policy)
+		tables, err := serveBench(*algo, *size, *base, *workers, *submitters, *repeats, *nilBodies, *dynMode, *locality, *policy, *traceOut, *metricsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ndbench:", err)
 			os.Exit(1)
 		}
-		emit([]*experiments.Table{table}, *jsonOut)
+		emit(tables, *jsonOut)
 		return
 	}
 	cfg := experiments.Config{Quick: *quick}
@@ -140,7 +143,7 @@ func emit(tables []*experiments.Table, jsonOut bool) {
 // like the default FW-1D, not for in-place destructive factorizations
 // (LU, Cholesky, TRS). -nilbodies strips the closures, shares one graph
 // across submitters, and isolates scheduling overhead for any algorithm.
-func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies, dynMode, locality bool, policy string) (*experiments.Table, error) {
+func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodies, dynMode, locality bool, policy, traceOut string, metricsOut bool) ([]*experiments.Table, error) {
 	// Pure forward recurrences recompute the same table from untouched
 	// inputs, so re-running one instance is sound; everything else (the
 	// in-place destructive factorizations and solves) must serve with
@@ -320,7 +323,56 @@ func serveBench(algo string, n, base, workers, submitters, repeats int, nilBodie
 		t.Note("workers=1: the spawn-per-run baseline degenerates to replaying the compiled serial schedule")
 		t.Note("(no pool, no tracker, no spawn) — compare engines at -workers ≥ 2 for the serving comparison")
 	}
-	return t, nil
+	tables := []*experiments.Table{t}
+	if traceOut != "" {
+		// One traced execution of the first graph on its own armed engine
+		// (the measured engine stays untraced, so the rows above price the
+		// disabled-tracing hot path), exported as Chrome trace_event JSON.
+		if err := writeTrace(traceOut, graphs[0], workers); err != nil {
+			return nil, err
+		}
+		t.Note("trace: one traced run of %s written to %s (load in about:tracing or ui.perfetto.dev)", algo, traceOut)
+	}
+	if metricsOut {
+		// The measured engine's full counter registry: everything the runs
+		// above did — scheduling, cache, dynamic-runtime and JIT activity —
+		// from the one source of truth.
+		mt := &experiments.Table{
+			ID:      "METRICS",
+			Title:   fmt.Sprintf("Engine telemetry registry after serving (%d workers)", workers),
+			Columns: []string{"counter", "value"},
+		}
+		snap := eng.Metrics().Snapshot()
+		for _, name := range snap.Names() {
+			mt.AddRow(name, snap.Get(name))
+		}
+		tables = append(tables, mt)
+	}
+	return tables, nil
+}
+
+// writeTrace runs the graph once on a tracing-armed engine of the same
+// worker count and writes the stitched trace as Chrome trace_event JSON.
+func writeTrace(path string, g *core.Graph, workers int) error {
+	trc := telemetry.NewTracer()
+	te := exec.NewEngine(workers, exec.WithTracing(trc))
+	defer te.Close()
+	if err := te.Run(g.P); err != nil {
+		return err
+	}
+	tr := trc.TakeLast()
+	if tr == nil {
+		return fmt.Errorf("trace: run finished but no trace was stitched")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // drive fans runs out over concurrent submitters (each told its index,

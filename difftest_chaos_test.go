@@ -227,7 +227,7 @@ func TestChaosCancelWall(t *testing.T) {
 // (determinism does not lean on timing), and FaultPanic at a moving
 // strand index fails runs typed while disarmed runs stay golden.
 func TestChaosFaultInjector(t *testing.T) {
-	var mode atomic.Int32  // 0 none, 1 delay-all, 2 panic-at-target
+	var mode atomic.Int32 // 0 none, 1 delay-all, 2 panic-at-target
 	var target atomic.Int32
 	eng := exec.NewEngine(4, exec.WithFaultInjector(func(strand int32) exec.Fault {
 		switch mode.Load() {

@@ -56,6 +56,7 @@ import (
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/exec"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 // errRunAborted is the panic sentinel that unwinds a task body whose run
@@ -325,7 +326,7 @@ func (r *run) Retire() {
 			rec = r.recorder
 		}
 		r.prog, r.observing, r.recording, r.recorder = nil, false, false, nil
-		p.runRetired(key, rec)
+		p.runRetired(r.eng, key, rec)
 	}
 	r.trk.Reset()
 	r.eng, r.r, r.root = nil, nil, nil
@@ -347,7 +348,7 @@ func (r *run) Discard() {
 			r.recorder.fail()
 		}
 		r.prog, r.observing, r.recording, r.recorder = nil, false, false, nil
-		p.runFailed(wasRec)
+		p.runFailed(r.eng, wasRec)
 	}
 	r.eng, r.r, r.root = nil, nil, nil
 }
@@ -537,10 +538,12 @@ func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
 		// A resumed continuation: donate the worker identity to the
 		// parked goroutine (the send cannot block — sem is buffered and
 		// holds at most one donation per suspension) and retire.
+		w.NoteDynDonate(r.slot, id)
 		fr.sem <- w.Self()
 		return false, true
 	}
 	fr.w = w
+	w.NoteDynDispatch(r.slot, id)
 	r.runBody(fr)
 	if p := fr.pend; p >= 0 {
 		// The last spawned child chains as the worker's next task: no
@@ -548,6 +551,9 @@ func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
 		fr.pend = -1
 		w.PushChained(p)
 	}
+	// Note before bodyDone: the cascade can free the frame (and finish
+	// the whole run), after which the id may be recycled.
+	w.NoteDynComplete(r.slot, id)
 	return r.bodyDone(fr), false
 }
 
@@ -626,6 +632,7 @@ func (r *run) completeFrame(w *exec.Worker, fr *frame) bool {
 		}
 		// Parent parked at an explicit Sync: wake it. The donation
 		// machinery hands it a worker identity when the word is popped.
+		w.NoteDynWake(r.slot, p.idx)
 		w.PushChained(r.word(p))
 		return false
 	}
@@ -635,11 +642,14 @@ func (r *run) completeFrame(w *exec.Worker, fr *frame) bool {
 // published: the goroutine hands its worker identity to a spare and waits
 // for a donor to pass one back. Must be called with fr.state already
 // stateParked and only when the armed counter's guard drop confirmed the
-// wait is real.
-func (fr *frame) park() {
+// wait is real. future tells the telemetry layer whether the suspension
+// waits on a future Get rather than a Sync.
+func (fr *frame) park(future bool) {
+	fr.w.NoteDynPark(fr.run.slot, fr.idx, future)
 	fr.w.Detach()
 	fr.w.Attach(<-fr.sem)
 	fr.state.Store(stateRunning)
+	fr.w.NoteDynResume(fr.run.slot, fr.idx)
 }
 
 // Spawn schedules fn as a child task of the calling strand. The child is
@@ -798,7 +808,7 @@ func (c *Context) Sync() {
 	fr.ensureSem()
 	fr.state.Store(stateParked)
 	if fr.kids.Add(-1) != 0 {
-		fr.park()
+		fr.park(false)
 	} else {
 		fr.state.Store(stateRunning)
 	}
@@ -850,6 +860,10 @@ func submitRun(e *exec.Engine, p *Program, root Task) (*exec.Run, error) {
 		r.freeFrame(nil, r.root)
 		r.Retire()
 		return nil, err
+	}
+	if r.recording {
+		meterJIT(e, telemetry.MJITRecords)
+		er.TraceMark(telemetry.EvJITRecord, 0)
 	}
 	return er, nil
 }

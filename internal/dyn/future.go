@@ -2,6 +2,8 @@ package dyn
 
 import (
 	"sync/atomic"
+
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 // Future is a single-assignment dataflow cell: the dynamic analogue of a
@@ -141,11 +143,13 @@ func (f *Future) wake(c *Context, old *waiter) {
 				// The first woken frame chains as the resolver's next
 				// task (Puts typically resolve at body end); the rest
 				// are stealable immediately.
+				c.fr.w.NoteDynWake(r.slot, fr.idx)
 				c.fr.w.PushChained(r.word(fr))
 			} else {
 				// The resolver is external — or a task on a different
 				// engine, whose deques cannot carry this run's words:
 				// route the wakeup through the frame's own engine.
+				r.eng.TraceEvent(telemetry.EvDynWake, r.slot, fr.idx, 0)
 				r.eng.Inject(r.word(fr))
 			}
 		}
@@ -211,7 +215,7 @@ func (f *Future) Get(c *Context) any {
 			// single compiled strand; this shape stays live.
 			r.recorder.fail()
 		}
-		fr.park()
+		fr.park(true)
 		// The wake word may be a force-drain (cancellation or the
 		// quiescence watchdog claimed our wait counter, not a Put): the
 		// value never arrived, so unwind instead of returning garbage.

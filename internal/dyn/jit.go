@@ -11,6 +11,7 @@ import (
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/exec"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 // Adaptive replay compilation. A recurring dynamic program pays the
@@ -174,10 +175,12 @@ func (p *Program) Compiled() bool {
 // free, live otherwise. A diverged replay transparently falls back to a
 // full live run (see the package notes on replayability).
 func (p *Program) Run(e *exec.Engine) error {
-	if b := p.takeBinding(); b != nil {
+	if b := p.takeBinding(e); b != nil {
+		meterJIT(e, telemetry.MJITReplays)
 		b.diverged.Store(false)
 		r, err := e.Submit(b.graph)
 		if err == nil {
+			r.TraceMark(telemetry.EvJITReplay, 0)
 			err = r.Wait()
 		}
 		div := err == nil && b.diverged.Load()
@@ -186,6 +189,7 @@ func (p *Program) Run(e *exec.Engine) error {
 			return err
 		}
 		if !div {
+			meterJIT(e, telemetry.MJITHits)
 			p.mu.Lock()
 			p.stats.Runs++
 			p.stats.Hits++
@@ -197,6 +201,8 @@ func (p *Program) Run(e *exec.Engine) error {
 			p.mu.Unlock()
 			return nil
 		}
+		meterJIT(e, telemetry.MJITDivergences)
+		e.TraceEvent(telemetry.EvJITDiverge, -1, -1, 0)
 		p.divergedRun()
 		// Fall through to a live run: replayed prefixes are discarded by
 		// recomputation under the replayability contract.
@@ -216,8 +222,9 @@ func (p *Program) Run(e *exec.Engine) error {
 
 // takeBinding checks out an idle compiled binding, materializing a new
 // one when the recording allows more, or nil when the program must run
-// live (no recording installed, or all bindings busy).
-func (p *Program) takeBinding() *binding {
+// live (no recording installed, or all bindings busy). e meters veto
+// outcomes on the engine's registry.
+func (p *Program) takeBinding(e *exec.Engine) *binding {
 	p.mu.Lock()
 	rec := p.rec
 	if rec == nil {
@@ -249,6 +256,7 @@ func (p *Program) takeBinding() *binding {
 		}
 		p.stats.Vetoes++
 		p.mu.Unlock()
+		meterJIT(e, telemetry.MJITVetoes)
 		return nil
 	}
 	return b
@@ -304,11 +312,20 @@ func (p *Program) abortSubmit(wasRecording bool) {
 	p.mu.Unlock()
 }
 
+// meterJIT bumps one of the engine-registry JIT counters; nil-safe so
+// Program hooks exercised without an engine stay valid.
+func meterJIT(e *exec.Engine, name string) {
+	if e != nil {
+		e.Metrics().Counter(name).IncShared()
+	}
+}
+
 // runRetired is called by the run's Retire with the run's folded shape
-// key (and its recorder, for recording runs).
-func (p *Program) runRetired(key uint64, rec *recorder) {
+// key (and its recorder, for recording runs). e is the engine the run
+// executed on, for registry metering.
+func (p *Program) runRetired(e *exec.Engine, key uint64, rec *recorder) {
 	if rec != nil {
-		p.finishRecording(rec, key)
+		p.finishRecording(e, rec, key)
 		return
 	}
 	p.mu.Lock()
@@ -326,28 +343,29 @@ func (p *Program) runRetired(key uint64, rec *recorder) {
 // binding must never be installed — and any failed run resets the shape
 // streak: the failed run's key was never folded, so the streak no longer
 // describes consecutive observations.
-func (p *Program) runFailed(wasRecording bool) {
+func (p *Program) runFailed(e *exec.Engine, wasRecording bool) {
 	p.mu.Lock()
 	if wasRecording {
 		p.recording = false
-		p.vetoLocked()
+		p.vetoLocked(e)
 	}
 	p.shape, p.streak = 0, 0
 	p.mu.Unlock()
 }
 
 // vetoLocked charges one abandoned recording attempt.
-func (p *Program) vetoLocked() {
+func (p *Program) vetoLocked(e *exec.Engine) {
 	p.stats.Vetoes++
 	p.vetoes++
 	if p.vetoes >= p.cfg.MaxRecordVetoes {
 		p.noJIT = true
 	}
+	meterJIT(e, telemetry.MJITVetoes)
 }
 
 // finishRecording installs a clean recording (compiling its first
 // binding) or charges a veto.
-func (p *Program) finishRecording(rec *recorder, key uint64) {
+func (p *Program) finishRecording(e *exec.Engine, rec *recorder, key uint64) {
 	p.mu.Lock()
 	sameShape := key == p.shape
 	p.mu.Unlock()
@@ -363,12 +381,13 @@ func (p *Program) finishRecording(rec *recorder, key uint64) {
 	switch {
 	case rec.failed.Load() || !sameShape:
 		// Inexpressible shape, or the shape drifted mid-streak.
-		p.vetoLocked()
+		p.vetoLocked(e)
 	case err != nil:
 		// The recorded DAG does not compile (e.g. CSR capacity): this
 		// shape will never compile, so stop trying.
 		p.noJIT = true
 		p.stats.Vetoes++
+		meterJIT(e, telemetry.MJITVetoes)
 	default:
 		p.rec = r
 		p.free = append(p.free[:0], b)

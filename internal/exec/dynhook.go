@@ -1,5 +1,12 @@
 package exec
 
+import (
+	"context"
+	"runtime/pprof"
+
+	"github.com/ndflow/ndflow/internal/telemetry"
+)
+
 // This file is the engine's dynamic-task surface: the hooks internal/dyn
 // builds its online nested-dataflow runtime on. The engine itself stays a
 // task-word multiplexer — it does not know what a future or a spawn tree
@@ -18,6 +25,10 @@ package exec
 //   - task words can be injected from outside any worker (Inject), the
 //     resume path for continuations whose resolver is external — e.g. a
 //     Future.Put feeding a pipeline from a request goroutine.
+//
+// The Note* methods in metrics.go are the matching observability
+// surface: dyn reports parks/resumes/donations through them so the
+// engine's registry and tracer stay the one source of truth.
 
 // dynTaskBit marks a packed task word as dynamic: the strand half is a
 // frame ID interpreted by the run's DynRun rather than a compiled strand.
@@ -174,7 +185,12 @@ func (w *Worker) Detach() {
 	self := w.self
 	go func() {
 		defer e.wg.Done()
-		e.workerLoop(newWorker(e, self))
+		// Same labels as a construction-time worker: the replacement
+		// inherits the donated slot (it may migrate on later donations;
+		// profiles label by slot at spawn).
+		pprof.Do(context.Background(), e.workerLabels(self), func(context.Context) {
+			e.workerLoop(newWorker(e, self))
+		})
 	}()
 }
 
@@ -224,6 +240,7 @@ func (e *Engine) Inject(words ...int64) {
 	if len(words) == 0 {
 		return
 	}
+	e.met.injects.AddShared(uint64(len(words)))
 	e.mu.Lock()
 	e.inject = append(e.inject, words...)
 	e.epoch++
@@ -250,6 +267,10 @@ func (e *Engine) SubmitDyn(d DynRun) (*Run, error) {
 	r.rescued = false
 	slot := e.allocSlotLocked(r)
 	r.live = true
+	if tr := e.tracer; tr != nil {
+		tr.RunStarted()
+		tr.Record(-1, telemetry.EvRunStart, slot, -1, 0)
+	}
 	root := d.Bind(r, slot)
 	e.inject = append(e.inject, PackDynTask(slot, root))
 	e.active++

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 // ErrEngineClosed is returned by submissions to a closed engine.
@@ -41,6 +44,19 @@ const (
 	PolicyRelaxed
 )
 
+// String names the policy as it appears in pprof labels and tooling
+// output.
+func (p Policy) String() string {
+	switch p {
+	case PolicyCriticalPath:
+		return "critpath"
+	case PolicyRelaxed:
+		return "relaxed"
+	default:
+		return "fifo"
+	}
+}
+
 // Option configures an Engine at construction.
 type Option func(*engineConfig)
 
@@ -48,6 +64,7 @@ type engineConfig struct {
 	policy    Policy
 	faultFn   func(strand int32) Fault
 	unguarded bool
+	tracer    *telemetry.Tracer
 }
 
 // WithPolicy selects the scheduling policy. PolicyRelaxed is equivalent
@@ -165,7 +182,24 @@ type runFailure struct{ err error }
 // is the engine's internal failure edge, exported for the dynamic
 // runtime; user code should use Cancel.
 func (r *Run) Fail(err error) bool {
-	return r.failv.CompareAndSwap(nil, &runFailure{err: err})
+	if !r.failv.CompareAndSwap(nil, &runFailure{err: err}) {
+		return false
+	}
+	if tr := r.eng.tracer; tr != nil {
+		kind := telemetry.EvRunFail
+		if isCancellation(err) {
+			kind = telemetry.EvRunCancel
+		}
+		tr.Record(-1, kind, r.slot, -1, 0)
+	}
+	return true
+}
+
+// isCancellation reports whether a run failure is a cancellation
+// (explicit or via context) rather than an execution fault.
+func isCancellation(err error) bool {
+	return errors.Is(err, ErrRunCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Failed returns the run's failure, nil while it is healthy. It may be
@@ -344,7 +378,6 @@ type Engine struct {
 	// up on the steady-state (all-hit) path.
 	cacheTick uint64
 	cacheCap  int
-	cstats    CacheStats
 
 	// topo is the locality-aware steal topology, nil on flat engines. When
 	// set, victim selection walks domains nearest-first, anchored strands
@@ -356,13 +389,14 @@ type Engine struct {
 	// ready structure, non-nil iff policy == PolicyRelaxed.
 	policy Policy
 	mq     *multiQueue
-	// steals counts victim-queue takes through the work-stealing
-	// protocol proper (deque steals, far mailbox polls); crossPops
-	// counts relaxed MultiQueue pops from outside the worker's own
-	// pair, which are ordinary pops of a shared structure, not steals.
-	// Together they are the cross-worker traffic SchedStats exposes.
-	steals    atomic.Uint64
-	crossPops atomic.Uint64
+
+	// met holds the engine's sharded counter handles (one telemetry
+	// registry per engine); tracer is the per-run strand tracer, nil
+	// unless armed with WithTracing. Both sit with the other
+	// per-dispatch-read fields (guard, faultFn) so the hot loop's nil
+	// check hits a warm line.
+	met    *metricsSet
+	tracer *telemetry.Tracer
 
 	// guard selects the per-strand recover wrapper (on unless
 	// WithUnguardedBodies); faultFn is the chaos hook, nil in production.
@@ -440,10 +474,11 @@ type SchedStats struct {
 	CrossPops uint64
 }
 
-// SchedStats returns a snapshot of the scheduling counters. Cumulative
-// over the engine's lifetime; diff two snapshots to meter a run.
+// SchedStats returns a snapshot of the scheduling counters, read from
+// the telemetry registry (Metrics is the full view). Cumulative over
+// the engine's lifetime; diff two snapshots to meter a run.
 func (e *Engine) SchedStats() SchedStats {
-	return SchedStats{Steals: e.steals.Load(), CrossPops: e.crossPops.Load()}
+	return SchedStats{Steals: e.met.steals.Value(), CrossPops: e.met.crossPops.Value()}
 }
 
 func newEngine(workers int, topo *Topology, cfg engineConfig) *Engine {
@@ -460,6 +495,19 @@ func newEngine(workers int, topo *Topology, cfg engineConfig) *Engine {
 		policy:   cfg.policy,
 		guard:    !cfg.unguarded,
 		faultFn:  cfg.faultFn,
+		met:      newMetricsSet(workers),
+		tracer:   cfg.tracer,
+	}
+	if e.tracer != nil {
+		// Size the per-worker lanes before any worker can record.
+		e.tracer.Bind(workers)
+	}
+	if topo != nil {
+		// Adopt the topology: its policy counters re-home onto the
+		// engine's registry (one source of truth) and anchor trace
+		// events ride the engine's tracer.
+		topo.met = e.met
+		topo.eng = e
 	}
 	if cfg.policy == PolicyRelaxed {
 		e.mq = newMultiQueue(workers)
@@ -525,10 +573,10 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 		if n := len(pool.free); n > 0 {
 			inst = pool.free[n-1]
 			pool.free = pool.free[:n-1]
-			e.cstats.InstanceHits++
+			e.met.instHits.IncShared()
 		} else {
 			inst = NewInstance(eg)
-			e.cstats.InstanceMisses++
+			e.met.instMisses.IncShared()
 		}
 	}
 	if e.topo != nil && inst.locTopo != e.topo {
@@ -560,6 +608,10 @@ func (e *Engine) submit(eg *core.ExecGraph, owned *Instance) (*Run, error) {
 	}
 	slot := e.allocSlotLocked(r)
 	r.live = true
+	if tr := e.tracer; tr != nil {
+		tr.RunStarted()
+		tr.Record(-1, telemetry.EvRunStart, slot, -1, int64(eg.NumStrands()))
+	}
 	switch {
 	case e.mq != nil:
 		// Relaxed engine: spread the seed entries round-robin over every
@@ -601,10 +653,10 @@ func (e *Engine) SubmitProgram(p *core.Program) (*Run, error) {
 		// the fresh zero-tick entry is its own victim at cap.
 		ent = &progEntry{use: e.cacheTick}
 		e.progs[p] = ent
-		e.cstats.ProgramMisses++
+		e.met.progMisses.IncShared()
 		e.evictProgsLocked()
 	} else {
-		e.cstats.ProgramHits++
+		e.met.progHits.IncShared()
 	}
 	ent.use = e.cacheTick
 	e.mu.Unlock()
@@ -629,7 +681,7 @@ func (e *Engine) evictPoolsLocked() {
 			}
 		}
 		delete(e.pools, victim)
-		e.cstats.Evictions++
+		e.met.evictions.IncShared()
 	}
 }
 
@@ -648,15 +700,20 @@ func (e *Engine) evictProgsLocked() {
 			}
 		}
 		delete(e.progs, victim)
-		e.cstats.Evictions++
+		e.met.evictions.IncShared()
 	}
 }
 
-// CacheStats returns a snapshot of the compile-cache counters.
+// CacheStats returns a snapshot of the compile-cache counters, read
+// from the telemetry registry (Metrics is the full view).
 func (e *Engine) CacheStats() CacheStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cstats
+	return CacheStats{
+		ProgramHits:    e.met.progHits.Value(),
+		ProgramMisses:  e.met.progMisses.Value(),
+		InstanceHits:   e.met.instHits.Value(),
+		InstanceMisses: e.met.instMisses.Value(),
+		Evictions:      e.met.evictions.Value(),
+	}
 }
 
 // SetCacheCap bounds the engine's program cache and instance-pool map at
@@ -858,28 +915,33 @@ func (e *Engine) acquire(self int, rng *uint64, buf []int64) (int64, []int64, bo
 			if t, buf, ok = e.pollMail(self, true, buf); ok {
 				return t, true
 			}
-			if t, ok = e.topo.stealNear(e.deques, self, rng); ok {
-				e.steals.Add(1)
+			var victim int
+			if t, victim, ok = e.topo.stealNear(e.deques, self, rng); ok {
+				e.met.steals.Inc(self)
+				e.traceSteal(self, t, victim)
 				return t, true
 			}
 			if t, buf, ok = e.pollMail(self, false, buf); ok {
-				e.steals.Add(1)
+				e.met.steals.Inc(self)
+				e.traceSteal(self, t, -1)
 				return t, true
 			}
 			return 0, false
 		}
 		if e.mq != nil {
-			if t, ok, foreign := e.mq.sweep(self, rng); ok {
-				if foreign {
-					e.crossPops.Add(1)
+			if t, from, ok := e.mq.sweep(self, rng); ok {
+				if from/2 != self {
+					e.met.crossPops.Inc(self)
+					e.traceSteal(self, t, -1)
 				}
 				return t, true
 			}
 			// Dynamic task words still travel on the deques even under the
 			// relaxed policy; fall through to a deque sweep for those.
 		}
-		if t, ok := stealFrom(e.deques, self, rng); ok {
-			e.steals.Add(1)
+		if t, victim, ok := stealFrom(e.deques, self, rng); ok {
+			e.met.steals.Inc(self)
+			e.traceSteal(self, t, victim)
 			return t, true
 		}
 		return 0, false
@@ -932,7 +994,14 @@ func (e *Engine) acquire(self int, rng *uint64, buf []int64) (int64, []int64, bo
 					e.rescue(stalled)
 					e.mu.Lock()
 				} else {
+					e.met.parks.Inc(self)
+					if tr := e.tracer; tr != nil {
+						tr.Record(self, telemetry.EvPark, -1, -1, 0)
+					}
 					e.cond.Wait()
+					if tr := e.tracer; tr != nil {
+						tr.Record(self, telemetry.EvUnpark, -1, -1, 0)
+					}
 				}
 			}
 			e.sleepers--
@@ -981,6 +1050,7 @@ func (e *Engine) stalledRunsLocked() []*Run {
 func (e *Engine) rescue(stalled []*Run) {
 	for _, r := range stalled {
 		r := r
+		e.met.rescues.IncShared()
 		r.dyn.DrainStalled(func(parked int) {
 			r.Fail(&UnresolvedFutureError{Parked: parked})
 		})
@@ -1014,6 +1084,23 @@ func (e *Engine) finish(r *Run) {
 		r.err = fmt.Errorf("exec: engine run stalled at %d of %d strands (DAG deadlock)",
 			r.inst.ct.Executed(), r.inst.eg.NumStrands())
 	}
+	e.met.runs.IncShared()
+	if r.err != nil {
+		if isCancellation(r.err) {
+			e.met.runsCanceled.IncShared()
+		} else {
+			e.met.runsFailed.IncShared()
+		}
+	}
+	if tr := e.tracer; tr != nil {
+		// Stitch the run's trace now, before the slot returns to the
+		// free list: every worker's body events for this run
+		// happen-before the tracker completion that elected this
+		// finisher, so the sweep is complete, and a recycled slot can
+		// never inherit this run's events.
+		tr.Record(-1, telemetry.EvRunEnd, r.slot, -1, 0)
+		tr.RunFinished(r.slot)
+	}
 	e.mu.Lock()
 	r.live = false
 	e.freeSlot = append(e.freeSlot, r.slot)
@@ -1029,7 +1116,31 @@ func (e *Engine) finish(r *Run) {
 
 func (e *Engine) worker(self int) {
 	defer e.wg.Done()
-	e.workerLoop(newWorker(e, self))
+	// Label the goroutine so CPU profiles break down by worker slot and
+	// scheduling policy.
+	pprof.Do(context.Background(), e.workerLabels(self), func(context.Context) {
+		e.workerLoop(newWorker(e, self))
+	})
+}
+
+// workerLabels is the pprof label set for a worker (or replacement)
+// goroutine: its slot at spawn and the engine's scheduling flavor.
+func (e *Engine) workerLabels(self int) pprof.LabelSet {
+	policy := e.policy.String()
+	if e.topo != nil {
+		policy = "locality"
+	}
+	return pprof.Labels("worker", strconv.Itoa(self), "policy", policy)
+}
+
+// traceSteal records a steal event carrying the stolen task's identity,
+// for the tracer's victim→thief flow arrows. victim < 0 means the
+// source has no single owner (domain mailbox, MultiQueue cross-pop).
+func (e *Engine) traceSteal(self int, t int64, victim int) {
+	if tr := e.tracer; tr != nil {
+		slot, id := unpackTask(t &^ dynTaskBit)
+		tr.Record(self, telemetry.EvSteal, slot, id, int64(victim))
+	}
 }
 
 // runLeaf executes one compiled strand body under the panic guard: a
@@ -1119,12 +1230,21 @@ func (e *Engine) workerLoop(w *Worker) {
 		if e.faultFn != nil {
 			e.applyFault(r, id)
 		}
+		if tr := e.tracer; tr != nil {
+			tr.Record(w.self, telemetry.EvDispatch, slot, id, 0)
+		}
 		if leaf := inst.eg.Strand(id); leaf.Run != nil {
 			if e.guard {
 				e.runLeaf(r, id, leaf.Label, leaf.Run)
 			} else {
 				leaf.Run()
 			}
+		}
+		if tr := e.tracer; tr != nil {
+			// Before Complete: the completion edge is what elects the
+			// finishing worker, so recording first guarantees this event
+			// is visible to the finisher's trace stitch.
+			tr.Record(w.self, telemetry.EvComplete, slot, id, 0)
 		}
 		var finished bool
 		ready, scratch, finished = inst.ct.Complete(id, ready[:0], scratch)

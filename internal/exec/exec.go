@@ -195,7 +195,7 @@ func RunParallel(g *core.Graph, workers int) error {
 				if id < 0 {
 					var ok bool
 					if id, ok = d.pop(); !ok {
-						if id, ok = stealFrom(deques, self, &rng); !ok {
+						if id, _, ok = stealFrom(deques, self, &rng); !ok {
 							if ct.Quiescent() {
 								return
 							}
@@ -248,10 +248,12 @@ func RunParallel(g *core.Graph, workers int) error {
 
 // stealFrom probes random victims, then sweeps deterministically so no
 // available task is ever missed. rng is a worker-local xorshift state.
-func stealFrom(deques []*wsDeque, self int, rng *uint64) (int64, bool) {
+// On success the victim's index is returned alongside the task, for the
+// tracer's steal flow arrows.
+func stealFrom(deques []*wsDeque, self int, rng *uint64) (int64, int, bool) {
 	n := len(deques)
 	if n == 1 {
-		return 0, false
+		return 0, 0, false
 	}
 	for attempt := 0; attempt < 2*n; attempt++ {
 		*rng ^= *rng << 13
@@ -262,7 +264,7 @@ func stealFrom(deques []*wsDeque, self int, rng *uint64) (int64, bool) {
 			continue
 		}
 		if v, ok, retry := deques[victim].steal(); ok {
-			return v, true
+			return v, victim, true
 		} else if retry {
 			attempt--
 		}
@@ -274,14 +276,14 @@ func stealFrom(deques []*wsDeque, self int, rng *uint64) (int64, bool) {
 		for {
 			v, ok, retry := deques[victim].steal()
 			if ok {
-				return v, true
+				return v, victim, true
 			}
 			if !retry {
 				break
 			}
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // RunParallelMutex is the retired first-generation parallel runtime: one

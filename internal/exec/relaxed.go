@@ -174,9 +174,10 @@ const mqSweepProbes = 4
 
 // sweep finds work for an idle worker: pick-2-random probes over all
 // queues popping the deeper head, then an exhaustive scan so returning
-// false proves every queue was observed empty. foreign reports whether
-// the task came from outside the worker's own pair (a steal).
-func (m *multiQueue) sweep(self int, rng *uint64) (word int64, ok, foreign bool) {
+// false proves every queue was observed empty. from is the source queue
+// index; from/2 != self means the task came from outside the worker's
+// own pair (a cross-pop).
+func (m *multiQueue) sweep(self int, rng *uint64) (word int64, from int, ok bool) {
 	n := uint64(len(m.qs))
 	for probe := 0; probe < mqSweepProbes; probe++ {
 		*rng ^= *rng << 13
@@ -196,13 +197,13 @@ func (m *multiQueue) sweep(self int, rng *uint64) (word int64, ok, foreign bool)
 			continue
 		}
 		if w, popped := m.qs[qi].tryPop(); popped {
-			return w, true, qi/2 != self
+			return w, qi, true
 		}
 	}
 	for i := range m.qs {
 		if w, popped := m.qs[i].tryPop(); popped {
-			return w, true, i/2 != self
+			return w, i, true
 		}
 	}
-	return 0, false, false
+	return 0, 0, false
 }

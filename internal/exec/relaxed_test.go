@@ -110,18 +110,18 @@ func TestMultiQueuePopOwn(t *testing.T) {
 func TestMultiQueueSweep(t *testing.T) {
 	m := newMultiQueue(4)
 	rng := uint64(42)
-	if _, ok, _ := m.sweep(0, &rng); ok {
+	if _, _, ok := m.sweep(0, &rng); ok {
 		t.Fatal("sweep found work in an empty structure")
 	}
 	m.qs[7].push(1, 700) // worker 3's second queue
-	w, ok, foreign := m.sweep(0, &rng)
-	if !ok || w != 700 || !foreign {
-		t.Fatalf("sweep = %d,%v,foreign=%v; want 700 via a foreign pop", w, ok, foreign)
+	w, from, ok := m.sweep(0, &rng)
+	if !ok || w != 700 || from/2 == 0 {
+		t.Fatalf("sweep = %d,from=%d,%v; want 700 via a foreign pop", w, from, ok)
 	}
 	m.qs[1].push(1, 111) // worker 0's own pair: not a steal
-	w, ok, foreign = m.sweep(0, &rng)
-	if !ok || w != 111 || foreign {
-		t.Fatalf("sweep = %d,%v,foreign=%v; want own-pair 111, not foreign", w, ok, foreign)
+	w, from, ok = m.sweep(0, &rng)
+	if !ok || w != 111 || from/2 != 0 {
+		t.Fatalf("sweep = %d,from=%d,%v; want own-pair 111, not foreign", w, from, ok)
 	}
 
 	for i := 0; i < 10; i++ {

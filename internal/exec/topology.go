@@ -47,6 +47,7 @@ import (
 
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 // TopologyStats counts locality-policy activity since engine start.
@@ -83,9 +84,16 @@ type Topology struct {
 	mu    sync.Mutex
 	plans map[*core.ExecGraph]*locPlan
 
-	claims    atomic.Int64
-	fallbacks atomic.Int64
-	posts     atomic.Int64
+	// met holds the policy counters (claims, fallbacks, posts). A
+	// free-standing topology gets a private set at construction so the
+	// claim protocol can be driven (and metered) without an engine; when
+	// newEngine adopts the topology it re-points met at the engine's
+	// set, making Engine.Metrics the one source of truth.
+	met *metricsSet
+	// eng back-links the owning engine once newEngine adopts the
+	// topology: anchor claim/release trace events ride its tracer. nil
+	// on a free-standing topology, which never traces.
+	eng *Engine
 }
 
 // NewTopology builds the steal topology for a pool of the given size
@@ -117,6 +125,7 @@ func NewTopology(spec pmh.Spec, workers int, sigma float64) (*Topology, error) {
 		workers: workers,
 		levels:  spec.Levels(),
 		plans:   make(map[*core.ExecGraph]*locPlan),
+		met:     newMetricsSet(workers),
 	}
 	t.span = make([]int, t.levels)
 	t.domainOf = make([][]int32, t.levels)
@@ -219,12 +228,14 @@ func (t *Topology) victimTiers(w int) [][]int {
 	return tiers
 }
 
-// Stats returns a snapshot of the policy counters.
+// Stats returns a snapshot of the policy counters, read from the
+// telemetry registry — the owning engine's once adopted (Engine.Metrics
+// is the full view), a private one on a free-standing topology.
 func (t *Topology) Stats() TopologyStats {
 	return TopologyStats{
-		Claims:    t.claims.Load(),
-		Fallbacks: t.fallbacks.Load(),
-		Posts:     t.posts.Load(),
+		Claims:    int64(t.met.claims.Value()),
+		Fallbacks: int64(t.met.fallbacks.Value()),
+		Posts:     int64(t.met.posts.Value()),
 	}
 }
 
@@ -254,8 +265,10 @@ func (t *Topology) fitLevel(size int64) int {
 
 // stealNear probes victims tier by tier, nearest first, randomizing the
 // start within each tier. Every victim is visited (lost races re-probe),
-// so a failed sweep means no task was available at the time.
-func (t *Topology) stealNear(deques []*wsDeque, self int, rng *uint64) (int64, bool) {
+// so a failed sweep means no task was available at the time. On success
+// the victim's index is returned alongside the task, for the tracer's
+// steal flow arrows.
+func (t *Topology) stealNear(deques []*wsDeque, self int, rng *uint64) (int64, int, bool) {
 	for _, tier := range t.tiers[self] {
 		n := len(tier)
 		*rng ^= *rng << 13
@@ -263,11 +276,12 @@ func (t *Topology) stealNear(deques []*wsDeque, self int, rng *uint64) (int64, b
 		*rng ^= *rng << 17
 		off := int(*rng % uint64(n))
 		for i := 0; i < n; i++ {
-			d := deques[tier[(off+i)%n]]
+			victim := tier[(off+i)%n]
+			d := deques[victim]
 			for {
 				v, ok, retry := d.steal()
 				if ok {
-					return v, true
+					return v, victim, true
 				}
 				if !retry {
 					break
@@ -275,7 +289,7 @@ func (t *Topology) stealNear(deques []*wsDeque, self int, rng *uint64) (int64, b
 			}
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // --- anchor plans
@@ -418,7 +432,12 @@ func (ls *locState) resolve(a int32, self int) int32 {
 	for _, dom := range ls.topo.order[k][self] {
 		if ls.topo.used[k][dom].Add(task.size) <= ls.topo.budget[k] {
 			if atomic.CompareAndSwapInt32(&ls.domain[a], domUnclaimed, dom) {
-				ls.topo.claims.Add(1)
+				ls.topo.met.claims.Inc(self)
+				if eng := ls.topo.eng; eng != nil {
+					if tr := eng.tracer; tr != nil {
+						tr.Record(self, telemetry.EvAnchorClaim, -1, a, int64(dom))
+					}
+				}
 				return dom
 			}
 			ls.topo.used[k][dom].Add(-task.size)
@@ -427,7 +446,7 @@ func (ls *locState) resolve(a int32, self int) int32 {
 		ls.topo.used[k][dom].Add(-task.size)
 	}
 	if atomic.CompareAndSwapInt32(&ls.domain[a], domUnclaimed, domFlat) {
-		ls.topo.fallbacks.Add(1)
+		ls.topo.met.fallbacks.Inc(self)
 	}
 	return atomic.LoadInt32(&ls.domain[a])
 }
@@ -447,6 +466,12 @@ func (ls *locState) complete(id int32) {
 	if dom := atomic.LoadInt32(&ls.domain[a]); dom >= 0 {
 		task := ls.plan.tasks[a]
 		ls.topo.used[task.level][dom].Add(-task.size)
+		if eng := ls.topo.eng; eng != nil {
+			// Engine-level event: the anchor's last strand may retire on
+			// any worker, and the release concerns the domain, not a run
+			// slot.
+			eng.TraceEvent(telemetry.EvAnchorRelease, -1, a, int64(dom))
+		}
 	}
 }
 
@@ -589,7 +614,7 @@ func (e *Engine) routeReady(w *Worker, d *wsDeque, ls *locState, slot, cur int32
 		}
 	}
 	if posted > 0 {
-		t.posts.Add(int64(posted))
+		e.met.posts.Add(w.self, uint64(posted))
 	}
 	if wakes > 0 && e.nSleep.Load() > 0 {
 		e.wake(wakes)

@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus writes the snapshot in Prometheus text-exposition
+// format (version 0.0.4): one `# TYPE <name> counter` header and one
+// sample line per counter, names sorted for stable diffs. A non-empty
+// namespace is prefixed with an underscore (namespace "ndflow" turns
+// sched_steals_total into ndflow_sched_steals_total). This is the
+// hand-off point for a serving daemon's /metrics endpoint: snapshot the
+// engine registry per scrape and stream it.
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	prefix := ""
+	if namespace != "" {
+		prefix = namespace + "_"
+	}
+	for _, name := range s.Names() {
+		full := prefix + name
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, s.Values[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/experiments"
 	"github.com/ndflow/ndflow/internal/pmh"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 const benchLocWorkers = 4
@@ -59,11 +60,7 @@ func benchEngineGraph(b *testing.B, e *exec.Engine, g *core.Graph) {
 			b.Fatal(err)
 		}
 	}
-	var before exec.TopologyStats
-	if t := e.Topology(); t != nil {
-		before = t.Stats()
-	}
-	schedBefore := e.SchedStats()
+	before := e.Metrics().Snapshot()
 	strands := float64(len(p.Leaves))
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -73,16 +70,16 @@ func benchEngineGraph(b *testing.B, e *exec.Engine, g *core.Graph) {
 		}
 	}
 	b.StopTimer()
-	sched := e.SchedStats()
+	d := e.Metrics().Snapshot().Delta(before)
+	runs := float64(b.N)
 	b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
-	b.ReportMetric(float64(sched.Steals-schedBefore.Steals)/float64(b.N), "steals/run")
-	b.ReportMetric(float64(sched.CrossPops-schedBefore.CrossPops)/float64(b.N), "xpops/run")
-	if t := e.Topology(); t != nil {
-		s := t.Stats()
-		runs := float64(b.N)
-		b.ReportMetric(float64(s.Claims-before.Claims)/runs, "claims/run")
-		b.ReportMetric(float64(s.Posts-before.Posts)/runs, "posts/run")
-		b.ReportMetric(float64(s.Fallbacks-before.Fallbacks)/runs, "fallbacks/run")
+	b.ReportMetric(float64(d.Get(telemetry.MSteals))/runs, "steals/run")
+	b.ReportMetric(float64(d.Get(telemetry.MCrossPops))/runs, "xpops/run")
+	b.ReportMetric(float64(d.Get(telemetry.MParks))/runs, "parks/run")
+	if e.Topology() != nil {
+		b.ReportMetric(float64(d.Get(telemetry.MClaims))/runs, "claims/run")
+		b.ReportMetric(float64(d.Get(telemetry.MPosts))/runs, "posts/run")
+		b.ReportMetric(float64(d.Get(telemetry.MFallbacks))/runs, "fallbacks/run")
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"github.com/ndflow/ndflow/internal/sched/spacebound"
 	"github.com/ndflow/ndflow/internal/sched/worksteal"
 	"github.com/ndflow/ndflow/internal/sim"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 // Model types re-exported from the core.
@@ -206,6 +207,44 @@ const (
 
 // WithPolicy selects the engine's scheduling policy.
 func WithPolicy(p Policy) EngineOption { return exec.WithPolicy(p) }
+
+// --- Telemetry
+//
+// Every engine carries a metrics registry — sharded, always-on counters
+// for scheduling, cache, topology, dynamic-runtime, and JIT activity —
+// read with Engine.Metrics().Snapshot(). Strand-level tracing is opt-in:
+// arm an engine with WithTracing(NewTracer()) and every run records
+// dispatch/complete, steal, park and future events into per-worker
+// slabs, stitched into a Trace when the run finishes. Export a Trace
+// with Trace.WriteChrome (load in about:tracing or Perfetto) and a
+// Snapshot with Snapshot.WritePrometheus. See DESIGN.md's "telemetry"
+// section.
+
+// Tracer collects per-run strand-level traces; see WithTracing.
+type Tracer = telemetry.Tracer
+
+// Trace is one finished run's stitched event stream.
+type Trace = telemetry.Trace
+
+// TraceEvent is one record in a Trace.
+type TraceEvent = telemetry.Event
+
+// MetricsRegistry is an engine's counter registry (Engine.Metrics).
+type MetricsRegistry = telemetry.Registry
+
+// MetricsSnapshot is a point-in-time read of every counter; diff two
+// with Snapshot.Delta, export with WritePrometheus.
+type MetricsSnapshot = telemetry.Snapshot
+
+// NewTracer returns an empty tracer ready to arm an engine with
+// WithTracing. A tracer belongs to exactly one engine.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// WithTracing arms the engine with a strand-level tracer: each run's
+// events are stitched into a Trace retrievable with Tracer.Take (or
+// Tracer.TakeLast + Tracer.Recycle for alloc-free steady state). A nil
+// tracer leaves tracing disabled.
+func WithTracing(tr *Tracer) EngineOption { return exec.WithTracing(tr) }
 
 // --- Failure model
 //

@@ -21,6 +21,7 @@ import (
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/matrix"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 // fwProgram builds an ND 1-D Floyd–Warshall program (with live strand
@@ -207,6 +208,44 @@ func benchEngineRerun(b *testing.B, opts ...exec.Option) {
 	}
 	b.StopTimer()
 	b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+}
+
+// BenchmarkEngineRerunTraced is the tracing-enabled pair of
+// BenchmarkEngineRerun: the same cached FW-256/4 rerun with a tracer
+// armed, every dispatch/complete/steal/park recorded and each run's
+// trace stitched, taken and recycled. The allocs/op column is the
+// claim that armed tracing allocates nothing in the steady state (the
+// event slabs reach capacity during warmup and are reused); the
+// ns/op delta against BenchmarkEngineRerun prices the armed-tracer
+// hot path.
+func BenchmarkEngineRerunTraced(b *testing.B) {
+	g := fwSchedGraph(b, 256, 4)
+	p := g.P
+	trc := telemetry.NewTracer()
+	e := exec.NewEngine(0, exec.WithTracing(trc))
+	defer e.Close()
+	events := 0.0
+	for i := 0; i < 3; i++ { // warm: caches, pools, trace slab capacity
+		if err := e.Run(p); err != nil {
+			b.Fatal(err)
+		}
+		if tr := trc.TakeLast(); tr != nil {
+			events = float64(len(tr.Events))
+			trc.Recycle(tr)
+		}
+	}
+	strands := float64(len(p.Leaves))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(p); err != nil {
+			b.Fatal(err)
+		}
+		trc.Recycle(trc.TakeLast())
+	}
+	b.StopTimer()
+	b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
+	b.ReportMetric(events, "events/run")
 }
 
 // BenchmarkEngineThroughput drives one engine from ≥ 4 concurrent

@@ -21,6 +21,7 @@ import (
 	"github.com/ndflow/ndflow/internal/core"
 	"github.com/ndflow/ndflow/internal/exec"
 	"github.com/ndflow/ndflow/internal/matrix"
+	"github.com/ndflow/ndflow/internal/telemetry"
 )
 
 func newPolicyEngine(policy exec.Policy) *exec.Engine {
@@ -79,7 +80,7 @@ func benchLULive(b *testing.B, policy exec.Policy) {
 		run()
 		restore()
 	}
-	schedBefore := e.SchedStats()
+	before := e.Metrics().Snapshot()
 	strands := float64(len(g.P.Leaves))
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -90,10 +91,12 @@ func benchLULive(b *testing.B, policy exec.Policy) {
 		b.StartTimer()
 	}
 	b.StopTimer()
-	sched := e.SchedStats()
+	d := e.Metrics().Snapshot().Delta(before)
+	runs := float64(b.N)
 	b.ReportMetric(strands*float64(b.N)/b.Elapsed().Seconds(), "strands/s")
-	b.ReportMetric(float64(sched.Steals-schedBefore.Steals)/float64(b.N), "steals/run")
-	b.ReportMetric(float64(sched.CrossPops-schedBefore.CrossPops)/float64(b.N), "xpops/run")
+	b.ReportMetric(float64(d.Get(telemetry.MSteals))/runs, "steals/run")
+	b.ReportMetric(float64(d.Get(telemetry.MCrossPops))/runs, "xpops/run")
+	b.ReportMetric(float64(d.Get(telemetry.MParks))/runs, "parks/run")
 }
 
 func BenchmarkFlatEngineLULive(b *testing.B)     { benchLULive(b, exec.PolicyFIFO) }
