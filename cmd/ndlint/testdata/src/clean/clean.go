@@ -1,0 +1,12 @@
+// Package clean is a finding-free package for cmd/ndlint's CLI tests:
+// a run over it must exit 0 and, with -json, print an empty array.
+package clean
+
+//ndlint:cacheline
+type padded struct {
+	n int64
+	_ [56]byte
+}
+
+//ndlint:noalloc
+func double(x int64) int64 { return 2 * x }

@@ -1,0 +1,14 @@
+// Package demo carries deliberate ndlint findings with stable
+// positions for cmd/ndlint's CLI tests: an unknown directive (typo
+// protection) and a missized //ndlint:cacheline struct. The testdata
+// path keeps it out of the module's own ./... runs.
+package demo
+
+//ndlint:cachelin
+type oops struct{ n int64 }
+
+//ndlint:cacheline
+type short struct {
+	n int64
+	_ [16]byte
+}

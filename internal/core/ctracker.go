@@ -57,6 +57,7 @@ type ConcurrentTracker struct {
 func NewConcurrentTracker(eg *ExecGraph) *ConcurrentTracker {
 	w := eg.Wake()
 	t := &ConcurrentTracker{wg: w, gen: 1}
+	//ndlint:allowplain pre-publication: no other goroutine can hold the tracker until this constructor returns it
 	t.cnt = append([]int32(nil), w.need...)
 	t.pending.Store(int64(len(w.initial)))
 	return t
@@ -80,6 +81,9 @@ func (t *ConcurrentTracker) InitialReady() []int32 { return t.wg.initial }
 // Safe for concurrent use by any number of workers, each passing its own
 // buffers. A strand must be completed exactly once per generation, and
 // only after it was handed out by InitialReady or a previous Complete.
+//
+//ndlint:hotpath
+//ndlint:noalloc
 func (t *ConcurrentTracker) Complete(id int32, ready, scratch []int32) ([]int32, []int32, bool) {
 	w := t.wg
 	n0 := len(ready)

@@ -186,6 +186,8 @@ func (fr *frame) nodes(k int) []waiter {
 // last-spawn chaining: the word parks in the frame's pend slot and the
 // sibling previously parked there (if any) goes onto the deque. The pend
 // word is flushed by the flush points listed on the field.
+//
+//ndlint:noalloc
 func (fr *frame) publishChild(word int64) {
 	if p := fr.pend; p >= 0 {
 		fr.w.Push(p)
@@ -196,6 +198,8 @@ func (fr *frame) publishChild(word int64) {
 // flushPend publishes a parked pend word onto the deque. Must be called
 // before the body can suspend — a hidden child is unschedulable, and the
 // suspension may be waiting for exactly that child.
+//
+//ndlint:noalloc
 func (fr *frame) flushPend() {
 	if p := fr.pend; p >= 0 {
 		fr.pend = -1
@@ -406,7 +410,11 @@ func (r *run) newFrame(w *exec.Worker, parent *frame, fn Task) *frame {
 
 // takeFrame performs newFrame's index operation alone — the hook bulk
 // spawners like Replay and SpawnForRange use to assemble children with
-// their own field wiring.
+// their own field wiring. The fast path is one shard-local slice pop;
+// slab growth lives in newFrameSlow so this function stays
+// allocation-free.
+//
+//ndlint:noalloc
 func (r *run) takeFrame(w *exec.Worker) *frame {
 	if w != nil {
 		sh := &r.shards[w.Self()]
@@ -483,6 +491,8 @@ func (r *run) newFrameSlow(w *exec.Worker) *frame {
 // full); the frame itself stays resident in the table for reuse. No task
 // word for the frame exists at this point (its last word was consumed by
 // the segment that completed it), so the index cannot be observed stale.
+//
+//ndlint:allowblock the run mutex is taken only for shard spills (once per frameBatch frees) and workerless callers; the common path is shard-local
 func (r *run) freeFrame(w *exec.Worker, fr *frame) {
 	if r.observing {
 		// Fold the frame's shape contribution into the run key (see
@@ -521,6 +531,8 @@ func (r *run) freeFrame(w *exec.Worker, fr *frame) {
 }
 
 // word returns the packed task word publishing frame fr.
+//
+//ndlint:noalloc
 func (r *run) word(fr *frame) int64 { return exec.PackDynTask(r.slot, fr.idx) }
 
 // Bind implements exec.DynRun: record the engine handle and slot, hand
@@ -532,6 +544,10 @@ func (r *run) Bind(er *exec.Run, slot int32) int32 {
 }
 
 // Exec implements exec.DynRun: run or resume frame id on worker w.
+// This is the dynamic side of the engine's dispatch hot path; ndlint
+// walks it for blocking operations like its compiled counterpart.
+//
+//ndlint:hotpath
 func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
 	fr := (*r.tab.Load())[id]
 	if fr.state.Load() == stateParked {
@@ -539,6 +555,7 @@ func (r *run) Exec(w *exec.Worker, id int32) (finished, detached bool) {
 		// parked goroutine (the send cannot block — sem is buffered and
 		// holds at most one donation per suspension) and retire.
 		w.NoteDynDonate(r.slot, id)
+		//ndlint:allowblock sem is buffered (cap 1) and holds at most one donation per suspension, so the send cannot block
 		fr.sem <- w.Self()
 		return false, true
 	}

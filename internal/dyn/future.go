@@ -41,6 +41,8 @@ var resolvedMark = &waiter{}
 func NewFuture() *Future { return &Future{} }
 
 // Resolved reports whether Put has run.
+//
+//ndlint:noalloc
 func (f *Future) Resolved() bool { return f.head.Load() == resolvedMark }
 
 // TryGet returns the resolved value without suspending: (value, true)
@@ -57,6 +59,8 @@ func (f *Future) TryGet() (any, bool) {
 // waiter list. It returns false — with nothing registered — when the
 // future is already resolved, in which case the caller settles the wait
 // counter itself.
+//
+//ndlint:noalloc
 func (f *Future) addWaiter(n *waiter) bool {
 	for {
 		old := f.head.Load()

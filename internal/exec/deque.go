@@ -60,6 +60,8 @@ func (d *wsDeque) push(v int64) {
 }
 
 // pop removes and returns the bottom element. Owner only.
+//
+//ndlint:noalloc
 func (d *wsDeque) pop() (int64, bool) {
 	b := d.bottom.Load() - 1
 	buf := d.buf.Load()
@@ -88,6 +90,8 @@ func (d *wsDeque) size() int64 { return d.bottom.Load() - d.top.Load() }
 
 // steal removes and returns the top element. Any thread. retry reports a
 // lost race (the deque may still hold work worth re-probing).
+//
+//ndlint:noalloc
 func (d *wsDeque) steal() (v int64, ok, retry bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()

@@ -38,6 +38,8 @@ const dynTaskBit int64 = 1 << 62
 
 // PackDynTask packs a run slot and a dynamic frame ID into a deque task
 // word. The slot is the one the engine passed to DynRun.Bind.
+//
+//ndlint:noalloc
 func PackDynTask(slot, id int32) int64 { return dynTaskBit | packTask(slot, id) }
 
 // DynRun is an in-flight dynamic computation multiplexed onto the engine:
@@ -203,6 +205,8 @@ func (w *Worker) Attach(slot int) { w.self = slot }
 // w.self rebound to a newly donated slot when a suspension hands one
 // over, and false when the engine has shut down and the goroutine should
 // exit.
+//
+//ndlint:allowblock spare-pool parking: the goroutine just donated its worker identity and must block until a suspension donates one back (or shutdown releases it)
 func (e *Engine) retire(w *Worker) bool {
 	e.mu.Lock()
 	if e.closed && e.active == 0 {

@@ -821,9 +821,17 @@ func (e *Engine) Close() {
 // packTask packs a run slot and strand ID into one deque word. Both are
 // non-negative int32s, so the word is non-negative and -1 can serve as
 // the workers' "no task" sentinel. Slots stay below 2³⁰ (enforced by
-// allocSlotLocked), keeping bit 62 free for dynTaskBit.
+// allocSlotLocked), keeping bit 62 free for dynTaskBit. The declared
+// layout below is verified by ndlint's taskword analyzer: fields must
+// stay disjoint, clear of sign bit 63, and witnessed by the constants
+// that enforce them (the uint32 strand conversion, the 1<<30 slot
+// guard, the 1<<62 dynTaskBit).
+//
+//ndlint:taskword strand=0:31 slot=32:61 kind=62
+//ndlint:noalloc
 func packTask(slot, id int32) int64 { return int64(slot)<<32 | int64(uint32(id)) }
 
+//ndlint:noalloc
 func unpackTask(t int64) (slot, id int32) { return int32(t >> 32), int32(uint32(t)) }
 
 func (e *Engine) getRunLocked() *Run {
@@ -907,6 +915,8 @@ func (e *Engine) takeInjectLocked(self int) (int64, bool) {
 // the post-announcement recheck run the full hierarchy, so the parking
 // protocol's guarantee (a publication between sweep and park is never
 // lost) covers mailbox publications too.
+//
+//ndlint:allowblock parking slow path: the engine mutex serializes the sleeper ladder and cond.Wait is the park itself; the Dekker announce-then-recheck above every park keeps the blocking sound
 func (e *Engine) acquire(self int, rng *uint64, buf []int64) (int64, []int64, bool) {
 	sweep := func() (int64, bool) {
 		if e.topo != nil {
@@ -1061,6 +1071,8 @@ func (e *Engine) rescue(stalled []*Run) {
 // n of them so a wide fan-out engages the whole pool, not one thief.
 // Callers pre-check nSleep so the hot path (no sleepers) costs one
 // atomic load.
+//
+//ndlint:allowblock entered only when parked sleepers exist; the no-sleeper hot path pays one atomic nSleep load and never reaches this mutex
 func (e *Engine) wake(n int) {
 	e.mu.Lock()
 	e.epoch++
@@ -1077,6 +1089,8 @@ func (e *Engine) wake(n int) {
 // finish retires a completed run: its slot returns to the free list and
 // the submitter is released. Exactly one worker per run gets done=true
 // from Complete, so finish runs once.
+//
+//ndlint:allowblock once-per-run retirement, off the per-task path: the slot free-list takes the engine mutex and the done channel is buffered (cap 1, one send per run)
 func (e *Engine) finish(r *Run) {
 	if f := r.Failed(); f != nil {
 		r.err = f
@@ -1162,6 +1176,8 @@ func (e *Engine) runLeaf(r *Run, id int32, label string, body func()) {
 // applyFault applies the chaos hook's decision for one compiled strand
 // dispatch. FaultPanic goes through runLeaf so the injected panic
 // exercises the same recover path a real body panic takes.
+//
+//ndlint:allowblock test-only chaos hook, gated on e.faultFn != nil: FaultDelay blocks by design and the injected panic message formats with fmt
 func (e *Engine) applyFault(r *Run, id int32) {
 	switch e.faultFn(id) {
 	case FaultPanic:
@@ -1182,6 +1198,12 @@ func (e *Engine) applyFault(r *Run, id int32) {
 // calling goroutine and may suspend mid-body, in which case the goroutine
 // parks, is later resumed by a slot donation, and returns from Exec
 // owning a different deque than it entered with.
+//
+// The loop is the engine's innermost hot path: ndlint walks every
+// function statically reachable from here and rejects blocking
+// operations that lack an //ndlint:allowblock justification.
+//
+//ndlint:hotpath
 func (e *Engine) workerLoop(w *Worker) {
 	rng := uint64(w.self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	ready := make([]int32, 0, 64)

@@ -39,15 +39,23 @@ type mqEntry struct {
 }
 
 // mqueue is one spinlocked max-heap with lock-free size/head mirrors.
+// Queues live contiguously in multiQueue.qs (two per worker), so the
+// struct must be an exact cache-line multiple or the mirror words of
+// adjacent pairs false-share; ndlint's padalign analyzer holds the size
+// to that invariant.
+//
+//ndlint:cacheline
 type mqueue struct {
 	mu  sync.Mutex
 	n   atomic.Int32 // mirror of len(h)
 	top atomic.Int64 // mirror of h[0].prio; meaningful only while n > 0
 	h   []mqEntry    // binary max-heap on prio, guarded by mu
-	_   [64]byte     // keep adjacent queues off one cache line
+	_   [80]byte     // pad to 128: two lines, adjacent queues never split one
 }
 
 // push inserts an entry and restores the heap invariant.
+//
+//ndlint:allowblock MultiQueue heaps are mutex-guarded by design: critical sections are O(log n) swaps with no nesting, and the pick-2 discipline keeps any one queue uncontended w.h.p.
 func (q *mqueue) push(prio, word int64) {
 	q.mu.Lock()
 	h := append(q.h, mqEntry{prio, word})
@@ -68,6 +76,8 @@ func (q *mqueue) push(prio, word int64) {
 
 // tryPop removes and returns the head entry's task word. It fails
 // without blocking when the queue is observed empty.
+//
+//ndlint:allowblock MultiQueue heaps are mutex-guarded by design: the n mirror rejects empty queues before the lock, and sifting down is O(log n) with no nesting
 func (q *mqueue) tryPop() (int64, bool) {
 	if q.n.Load() == 0 {
 		return 0, false

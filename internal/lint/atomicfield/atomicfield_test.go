@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/lint/atomicfield"
+	"github.com/ndflow/ndflow/internal/lint/linttest"
+)
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, atomicfield.Analyzer, "./testdata/src/a")
+}

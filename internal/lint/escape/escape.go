@@ -1,0 +1,111 @@
+// Package escape runs the Go compiler's escape analysis over one
+// package and returns its heap-allocation marks, the raw input for the
+// noalloc analyzer.
+//
+// It invokes `go tool compile -m` directly rather than
+// `go build -gcflags=-m`: build output is cached, so a second identical
+// `go build` invocation compiles nothing and prints nothing — a lint
+// driver that depended on it would silently pass on warm caches.
+// Driving the compiler ourselves is deterministic, and the importcfg it
+// needs falls straight out of the export-data map the loader already
+// collected from `go list -export -deps`. The object file goes to a
+// temp dir; the real build cache is never touched.
+package escape
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/ndflow/ndflow/internal/lint/analysis"
+	"github.com/ndflow/ndflow/internal/lint/load"
+)
+
+// Analyze compiles p with -m and returns the escape marks, one per
+// compiler diagnostic line. Marks cover every -m note ("inlining call
+// to", "leaking param", "escapes to heap", ...); consumers filter for
+// the classes they care about (see Allocates).
+func Analyze(p *load.Package) ([]analysis.Escape, error) {
+	tmp, err := os.MkdirTemp("", "ndlint-escape-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	for path, export := range p.Export {
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", path, export)
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+
+	args := []string{"tool", "compile", "-m", "-e",
+		"-p", p.ImportPath,
+		"-importcfg", cfgPath,
+		"-o", filepath.Join(tmp, "out.o"),
+	}
+	args = append(args, p.GoFiles...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = p.Dir // diagnostics then print file names relative to the package dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape analysis of %s: %v\n%s%s", p.ImportPath, err, stderr.String(), stdout.String())
+	}
+	return parse(stdout.String()), nil
+}
+
+// parse extracts file:line:col marks from -m output. The compiler
+// prints one diagnostic per line as `file.go:12:6: msg`; anything not
+// in that shape (section headers, blank lines) is skipped.
+func parse(out string) []analysis.Escape {
+	var marks []analysis.Escape
+	for _, line := range strings.Split(out, "\n") {
+		rest := line
+		// file may itself be plain (no colons beyond the positions) —
+		// split off the three leading fields.
+		i := strings.Index(rest, ".go:")
+		if i < 0 {
+			continue
+		}
+		file := rest[:i+3]
+		rest = rest[i+4:]
+		j := strings.Index(rest, ":")
+		if j < 0 {
+			continue
+		}
+		lineNo, err := strconv.Atoi(rest[:j])
+		if err != nil {
+			continue
+		}
+		rest = rest[j+1:]
+		k := strings.Index(rest, ":")
+		if k < 0 {
+			continue
+		}
+		colNo, err := strconv.Atoi(rest[:k])
+		if err != nil {
+			continue
+		}
+		msg := strings.TrimSpace(rest[k+1:])
+		marks = append(marks, analysis.Escape{File: filepath.Base(file), Line: lineNo, Col: colNo, Msg: msg})
+	}
+	return marks
+}
+
+// Allocates reports whether a mark is a heap allocation: a value or
+// composite literal the compiler decided must live on the heap. Notes
+// about parameters leaking or inlining decisions are not allocations.
+func Allocates(m analysis.Escape) bool {
+	if strings.Contains(m.Msg, "leaking param") {
+		return false
+	}
+	return strings.Contains(m.Msg, "escapes to heap") || strings.Contains(m.Msg, "moved to heap")
+}

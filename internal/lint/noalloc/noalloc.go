@@ -1,0 +1,104 @@
+// Package noalloc implements the ndlint analyzer that turns the
+// "0 allocs/run" benchmark criterion into a compile-time gate.
+//
+// Functions annotated `//ndlint:noalloc` — engine dispatch, counter
+// increments, tracer recording, deque push/pop, task-word packing —
+// are the paths the re-run benchmarks require to stay allocation-free.
+// A benchmark catches a new allocation only when someone runs it and
+// reads allocs/op; this analyzer catches it on every lint run instead,
+// by replaying the compiler's own escape analysis (`go tool compile
+// -m`, see the escape package) and flagging any heap allocation whose
+// source position falls inside an annotated function, including its
+// nested function literals.
+//
+// The check is positional, which cuts both ways honestly: allocations
+// in helpers that a noalloc function calls are attributed to the
+// helper's own lines, so cold-path helpers (deque growth, lane spill)
+// stay annotation-free and unflagged even when inlined — exactly the
+// split the hand-written hot paths rely on. Helpers that must also
+// stay clean get their own annotation.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+
+	"github.com/ndflow/ndflow/internal/lint/analysis"
+	"github.com/ndflow/ndflow/internal/lint/annot"
+	"github.com/ndflow/ndflow/internal/lint/escape"
+)
+
+// Analyzer is the annotated-function heap-allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name:         "noalloc",
+	Doc:          "functions annotated //ndlint:noalloc must not heap-allocate (verified against compiler escape analysis)",
+	NeedsEscapes: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Gather annotated function line ranges per file.
+	type span struct {
+		name     string
+		from, to int
+	}
+	spans := make(map[string][]span) // file base name → annotated ranges
+	total := 0
+	for _, f := range pass.Files {
+		af := annot.NewFile(pass.Fset, f)
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := af.FuncDirective(fd, "noalloc"); !ok {
+				continue
+			}
+			spans[base] = append(spans[base], span{
+				name: fd.Name.Name,
+				from: pass.Fset.Position(fd.Body.Pos()).Line,
+				to:   pass.Fset.Position(fd.Body.End()).Line,
+			})
+			total++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+
+	for _, m := range pass.Escapes {
+		if !escape.Allocates(m) {
+			continue
+		}
+		for _, s := range spans[m.File] {
+			if m.Line < s.from || m.Line > s.to {
+				continue
+			}
+			// Re-anchor the finding to a real token position so it
+			// reports like every other analyzer.
+			pos := posOnLine(pass, m.File, m.Line)
+			pass.Reportf(pos, "heap allocation in //ndlint:noalloc function %s: %s (%s:%d:%d)",
+				s.name, m.Msg, m.File, m.Line, m.Col)
+			break
+		}
+	}
+	return nil
+}
+
+// posOnLine finds a token.Pos on the given line of the named file, so
+// diagnostics anchor to the allocation site.
+func posOnLine(pass *analysis.Pass, base string, line int) token.Pos {
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || filepath.Base(tf.Name()) != base {
+			continue
+		}
+		if line <= tf.LineCount() {
+			return tf.LineStart(line)
+		}
+		return f.Pos()
+	}
+	return pass.Files[0].Pos()
+}

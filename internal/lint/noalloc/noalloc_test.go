@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/lint/linttest"
+	"github.com/ndflow/ndflow/internal/lint/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, noalloc.Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,33 @@
+// Package a is the noalloc failing-case spec: heap allocations inside
+// //ndlint:noalloc functions must be flagged; the same allocations in
+// unannotated functions must not.
+package a
+
+type node struct {
+	next *node
+	v    int64
+}
+
+// sum is a clean hot function: arithmetic and slice reads only.
+//
+//ndlint:noalloc
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//ndlint:noalloc
+func leak() *node {
+	return &node{v: 1} // want `heap allocation in //ndlint:noalloc function leak`
+}
+
+//ndlint:noalloc
+func grow(n int) []int64 {
+	return make([]int64, n) // want `heap allocation in //ndlint:noalloc function grow`
+}
+
+// coldAlloc is unannotated: its allocation is nobody's business.
+func coldAlloc() *node { return &node{} }

@@ -1,0 +1,236 @@
+// Package nonblocking implements the ndlint analyzer that keeps the
+// engine's hot paths free of blocking operations.
+//
+// Functions annotated `//ndlint:hotpath` root a call-graph walk over
+// the package: every function statically reachable from a root through
+// direct calls (including function literals defined inline) is scanned
+// for operations that can block or allocate behind the caller's back —
+// channel sends and receives, selects without a default, ranging over a
+// channel, sync.Mutex/RWMutex.Lock, sync.Cond.Wait, sync.WaitGroup.Wait,
+// time.Sleep, and any call into fmt.
+//
+// The walk is intra-package by design: a hot path crossing a package
+// boundary is annotated again in the callee's package (dispatch in exec
+// calls Complete in core — both carry the annotation), so each package
+// verifies its own half and no cross-package fact plumbing is needed.
+//
+// Deliberate blocking on a hot path — the Dekker announce-then-recheck
+// parking protocol is the canonical case — is suppressed with
+// `//ndlint:allowblock <reason>` on the operation, or on the function's
+// doc comment to exempt the whole function (parking helpers). The
+// reason is mandatory.
+package nonblocking
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/ndflow/ndflow/internal/lint/analysis"
+	"github.com/ndflow/ndflow/internal/lint/annot"
+)
+
+// Analyzer is the hot-path blocking-operation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "nonblocking",
+	Doc:  "forbid blocking operations reachable from //ndlint:hotpath roots",
+	Run:  run,
+}
+
+// fnInfo is one package function eligible for the walk.
+type fnInfo struct {
+	decl *ast.FuncDecl
+	af   *annot.File
+	// allowAll exempts the whole function (doc-level allowblock).
+	allowAll bool
+	root     bool
+}
+
+func run(pass *analysis.Pass) error {
+	fns := make(map[*types.Func]*fnInfo)
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		af := annot.NewFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &fnInfo{decl: fd, af: af}
+			if d, ok := af.FuncDirective(fd, "allowblock"); ok {
+				info.allowAll = true
+				if strings.TrimSpace(d.Args) == "" {
+					pass.Reportf(d.Pos, "//ndlint:allowblock requires a reason")
+				}
+			}
+			if _, ok := af.FuncDirective(fd, "hotpath"); ok {
+				info.root = true
+				roots = append(roots, obj)
+			}
+			fns[obj] = info
+		}
+	}
+
+	// Walk each root's reachable set. visited is global across roots —
+	// a function already scanned under one root need not repeat its
+	// findings under another (the fix is the same either way).
+	visited := make(map[*types.Func]bool)
+	for _, root := range roots {
+		walk(pass, fns, visited, root, fns[root].decl.Name.Name)
+	}
+	return nil
+}
+
+func walk(pass *analysis.Pass, fns map[*types.Func]*fnInfo, visited map[*types.Func]bool, fn *types.Func, rootName string) {
+	if visited[fn] {
+		return
+	}
+	visited[fn] = true
+	info := fns[fn]
+	if info == nil || info.allowAll {
+		return
+	}
+	via := ""
+	if !info.root || info.decl.Name.Name != rootName {
+		via = " (reached from hotpath root " + rootName + ")"
+	}
+	scan(pass, info.af, info.decl.Body, via, func(callee *types.Func) {
+		walk(pass, fns, visited, callee, rootName)
+	})
+}
+
+// scan reports blocking operations in body and hands same-package
+// callees to follow.
+func scan(pass *analysis.Pass, af *annot.File, body ast.Node, via string, follow func(*types.Func)) {
+	// Channel operations that are a select clause's comm statement are
+	// the select's to report (or not: with a default they don't block),
+	// not standalone findings.
+	comm := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			switch s := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				comm[s.X] = true
+			case *ast.AssignStmt:
+				for _, r := range s.Rhs {
+					comm[r] = true
+				}
+			case *ast.SendStmt:
+				comm[s] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if !comm[n] {
+				reportBlock(pass, af, x.Pos(), "channel send"+via)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !comm[n] {
+				reportBlock(pass, af, x.Pos(), "channel receive"+via)
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(x) {
+				reportBlock(pass, af, x.Pos(), "select without default"+via)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					reportBlock(pass, af, x.Pos(), "range over channel"+via)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := callee(pass, x); fn != nil {
+				if desc, bad := blockingCall(fn); bad {
+					reportBlock(pass, af, x.Pos(), desc+via)
+				} else if fn.Pkg() == pass.Pkg {
+					follow(fn)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall classifies calls into other packages that block (or, for
+// fmt, allocate and acquire locks) by nature.
+func blockingCall(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "fmt":
+		return "call to fmt." + fn.Name(), true
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "call to time.Sleep", true
+		}
+	case "sync":
+		recv := fn.Signature().Recv()
+		if recv == nil {
+			return "", false
+		}
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		switch named.Obj().Name() + "." + fn.Name() {
+		case "Mutex.Lock", "RWMutex.Lock", "RWMutex.RLock":
+			return "call to sync." + named.Obj().Name() + "." + fn.Name(), true
+		case "Cond.Wait", "WaitGroup.Wait":
+			return "call to sync." + named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func reportBlock(pass *analysis.Pass, af *annot.File, pos token.Pos, msg string) {
+	if d, ok := af.Suppressed(pos, "allowblock"); ok {
+		if strings.TrimSpace(d.Args) == "" {
+			pass.Reportf(pos, "suppression //ndlint:allowblock requires a reason")
+		}
+		return
+	}
+	pass.Reportf(pos, "blocking operation on hot path: %s", msg)
+}

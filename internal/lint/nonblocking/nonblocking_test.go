@@ -1,0 +1,12 @@
+package nonblocking_test
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/lint/linttest"
+	"github.com/ndflow/ndflow/internal/lint/nonblocking"
+)
+
+func TestNonBlocking(t *testing.T) {
+	linttest.Run(t, nonblocking.Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,101 @@
+// Package a is the nonblocking failing-case spec: blocking operations
+// reachable from //ndlint:hotpath roots must be flagged, everything
+// off the hot path must not.
+package a
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// dispatch is a hot-path root: its own body and everything it calls
+// (transitively, within the package) is scanned.
+//
+//ndlint:hotpath
+func dispatch(ch chan int, mu *sync.Mutex) {
+	helper(ch)
+	mu.Lock() // want `sync.Mutex.Lock`
+	work()
+}
+
+func helper(ch chan int) {
+	ch <- 1 // want `channel send.*reached from hotpath root dispatch`
+	<-ch    // want `channel receive`
+}
+
+func work() {
+	time.Sleep(time.Millisecond) // want `time.Sleep`
+	fmt.Println("x")             // want `fmt.Println`
+	cold()
+}
+
+// coldOnly is never reached from a root: its blocking ops are fine.
+func coldOnly(ch chan int) {
+	ch <- 2
+	<-ch
+	fmt.Println("cold")
+}
+
+func cold() {}
+
+// selects exercises the select rules: no default blocks, a default
+// polls.
+//
+//ndlint:hotpath
+func selects(ch chan int) {
+	select { // want `select without default`
+	case <-ch:
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// drain exercises range-over-channel.
+//
+//ndlint:hotpath
+func drain(ch chan int) int {
+	n := 0
+	for v := range ch { // want `range over channel`
+		n += v
+	}
+	return n
+}
+
+// park is the sanctioned-blocking case: the Dekker-style parking
+// protocol blocks by design, with the reason on record.
+//
+//ndlint:hotpath
+func park(c *sync.Cond, w *sync.WaitGroup) {
+	c.Wait() //ndlint:allowblock parking protocol: announce-then-recheck published the sleeper count first
+	wake(w)
+}
+
+// wake blocks wholesale and says why at function level.
+//
+//ndlint:allowblock shutdown-only path, never on the steady-state dispatch loop
+func wake(w *sync.WaitGroup) {
+	w.Wait()
+}
+
+// lazy exercises the reason requirement: a bare allowblock is itself a
+// finding and does not suppress.
+//
+//ndlint:hotpath
+func lazy(ch chan int) {
+	//ndlint:allowblock
+	<-ch // want `requires a reason`
+}
+
+// closures inline in a hot function are part of it.
+//
+//ndlint:hotpath
+func inline(ch chan int) func() {
+	f := func() {
+		ch <- 3 // want `channel send`
+	}
+	return f
+}

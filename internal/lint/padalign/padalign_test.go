@@ -1,0 +1,12 @@
+package padalign_test
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/lint/linttest"
+	"github.com/ndflow/ndflow/internal/lint/padalign"
+)
+
+func TestPadAlign(t *testing.T) {
+	linttest.Run(t, padalign.Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,58 @@
+// Package a is the padalign failing-case spec (sizes assume the gc
+// layout on a 64-bit arch, which is what the engine targets).
+package a
+
+import "sync"
+
+// cell is a correctly padded 64-byte counter cell.
+//
+//ndlint:cacheline
+type cell struct {
+	n uint64
+	_ [56]byte
+}
+
+// lane packs a mutex, a slice header, and a pad to exactly one line.
+//
+//ndlint:cacheline
+type lane struct {
+	mu sync.Mutex
+	ev []uint64
+	_  [32]byte
+}
+
+// twoLines is fine: a multiple of 64 keeps slice elements line-disjoint.
+//
+//ndlint:cacheline
+type twoLines struct {
+	n uint64
+	_ [120]byte
+}
+
+// short is under-padded: a field grew and the tail was not rebalanced.
+//
+//ndlint:cacheline
+type short struct { // want `short is marked //ndlint:cacheline but is 48 bytes`
+	n uint64
+	_ [40]byte
+}
+
+// drifted went past one line without reaching two.
+//
+//ndlint:cacheline
+type drifted struct { // want `drifted is marked //ndlint:cacheline but is 80 bytes`
+	a, b uint64
+	_    [64]byte
+}
+
+// unpadded has no pad at all and is not a multiple.
+//
+//ndlint:cacheline
+type unpadded struct { // want `unpadded is marked //ndlint:cacheline but is 24 bytes`
+	a, b, c uint64
+}
+
+// unannotated structs are never checked.
+type unannotated struct {
+	n uint64
+}

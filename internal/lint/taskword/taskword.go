@@ -1,0 +1,388 @@
+// Package taskword implements the ndlint analyzer that pins the packed
+// int64 task-word bit layout.
+//
+// The engine multiplexes every scheduler structure over one packed
+// word: strand/frame ID in the low 32 bits, run slot in bits 32..61,
+// the dynamic-task kind flag at bit 62 — and bit 63 must stay clear so
+// task words are non-negative and -1 can serve as the "no task"
+// sentinel. That layout is spread across pack/unpack helpers, flag
+// constants, and width guards in different files; nothing ties them
+// together at compile time, and a one-character change to a shift or a
+// guard silently corrupts every consumer.
+//
+// The layout is declared once, on the packing function's doc comment:
+//
+//	//ndlint:taskword strand=0:31 slot=32:61 kind=62
+//
+// and the analyzer cross-checks the declaration against the package:
+//
+//   - declared fields must be in-range, pairwise disjoint, and leave
+//     the sign bit clear;
+//   - every shift by a constant inside Pack*/pack*/Unpack*/unpack*
+//     functions must land on a declared field offset;
+//   - every Pack function needs an inverse: a matching Unpack function,
+//     or — for flag-setting packers like PackDynTask — a single-bit
+//     field whose flag constant the package both sets (|) and masks
+//     away (&^) somewhere;
+//   - each field needs a width witness: a `1 << width` limit constant
+//     (the slot guard), a conversion to an integer type of exactly the
+//     field's width (uint32(id)), or, for single-bit fields, a
+//     power-of-two flag constant at that bit.
+//
+// Packages without a //ndlint:taskword declaration are not checked.
+package taskword
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"github.com/ndflow/ndflow/internal/lint/analysis"
+	"github.com/ndflow/ndflow/internal/lint/annot"
+)
+
+// Analyzer is the packed task-word layout checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "taskword",
+	Doc:  "verify the declared packed-word bit layout against pack/unpack shifts, flags, and width guards",
+	Run:  run,
+}
+
+// field is one declared bit range, inclusive.
+type field struct {
+	name   string
+	lo, hi int
+}
+
+func (f field) width() int     { return f.hi - f.lo + 1 }
+func (f field) single() bool   { return f.lo == f.hi }
+func (f field) String() string { return fmt.Sprintf("%s=%d:%d", f.name, f.lo, f.hi) }
+
+// pkgFacts accumulates the package-wide evidence the checks consume.
+type pkgFacts struct {
+	packFns   map[string]*ast.FuncDecl // lower-cased name → decl
+	unpackFns map[string]*ast.FuncDecl
+	// shifts: constant shift amounts inside pack/unpack bodies.
+	shifts []shiftUse
+	// convWidths: integer conversion widths inside pack/unpack bodies.
+	convWidths map[int]bool
+	// limits: log2 of every power-of-two constant expression in the
+	// package (guards like `1<<30`, flag constants like `1<<62`).
+	limits map[int]bool
+	// orBits / clearBits: bits of power-of-two constants used with |
+	// (in pack functions) and &^ (anywhere).
+	orBits    map[string]map[int]bool // pack fn lower name → bits OR'd in
+	clearBits map[int]bool
+}
+
+type shiftUse struct {
+	amount int
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var spec []field
+	var specPos token.Pos
+	for _, f := range pass.Files {
+		af := annot.NewFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			var d annot.Directive
+			var ok bool
+			switch x := decl.(type) {
+			case *ast.FuncDecl:
+				d, ok = af.FuncDirective(x, "taskword")
+			case *ast.GenDecl:
+				if d, ok = af.GenDirective(x, nil, "taskword"); !ok {
+					for _, s := range x.Specs {
+						if vs, isVal := s.(*ast.ValueSpec); isVal {
+							if d, ok = af.GenDirective(x, vs.Doc, "taskword"); ok {
+								break
+							}
+						}
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			if spec != nil {
+				pass.Reportf(d.Pos, "duplicate //ndlint:taskword declaration (first at %s)", pass.Fset.Position(specPos))
+				continue
+			}
+			fs, err := parseSpec(d.Args)
+			if err != nil {
+				pass.Reportf(d.Pos, "malformed //ndlint:taskword: %v", err)
+				continue
+			}
+			spec, specPos = fs, d.Pos
+		}
+	}
+	if spec == nil {
+		return nil
+	}
+	checkSpec(pass, spec, specPos)
+
+	facts := collect(pass)
+	checkShifts(pass, spec, facts)
+	checkPairing(pass, spec, facts)
+	checkWitnesses(pass, spec, specPos, facts)
+	return nil
+}
+
+func parseSpec(args string) ([]field, error) {
+	var fs []field
+	for _, tok := range strings.Fields(args) {
+		name, rng, ok := strings.Cut(tok, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("want name=lo[:hi], got %q", tok)
+		}
+		loS, hiS, ranged := strings.Cut(rng, ":")
+		lo, err := strconv.Atoi(loS)
+		if err != nil {
+			return nil, fmt.Errorf("bad offset in %q", tok)
+		}
+		hi := lo
+		if ranged {
+			if hi, err = strconv.Atoi(hiS); err != nil {
+				return nil, fmt.Errorf("bad offset in %q", tok)
+			}
+		}
+		fs = append(fs, field{name: name, lo: lo, hi: hi})
+	}
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("no fields declared")
+	}
+	return fs, nil
+}
+
+func checkSpec(pass *analysis.Pass, spec []field, pos token.Pos) {
+	var used [64]string
+	for _, f := range spec {
+		if f.lo < 0 || f.hi > 63 || f.lo > f.hi {
+			pass.Reportf(pos, "task-word field %s is out of range (bits 0..63, lo ≤ hi)", f)
+			continue
+		}
+		if f.hi == 63 {
+			pass.Reportf(pos, "task-word field %s uses the sign bit; words must stay non-negative (-1 is the no-task sentinel)", f)
+		}
+		for b := f.lo; b <= f.hi && b < 64; b++ {
+			if other := used[b]; other != "" {
+				pass.Reportf(pos, "task-word fields %s and %s overlap at bit %d", other, f.name, b)
+				break
+			}
+			used[b] = f.name
+		}
+	}
+}
+
+func collect(pass *analysis.Pass) *pkgFacts {
+	facts := &pkgFacts{
+		packFns:    make(map[string]*ast.FuncDecl),
+		unpackFns:  make(map[string]*ast.FuncDecl),
+		convWidths: make(map[int]bool),
+		limits:     make(map[int]bool),
+		orBits:     make(map[string]map[int]bool),
+		clearBits:  make(map[int]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				lower := strings.ToLower(fd.Name.Name)
+				if strings.HasPrefix(lower, "pack") {
+					facts.packFns[lower] = fd
+					facts.orBits[lower] = make(map[int]bool)
+				} else if strings.HasPrefix(lower, "unpack") {
+					facts.unpackFns[lower] = fd
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.SHL:
+				// A power-of-two constant expression is a limit/flag;
+				// collected by value below via the whole expression.
+				if bit, ok := constPow2(pass, be); ok {
+					facts.limits[bit] = true
+				}
+			case token.AND_NOT:
+				if bit, ok := constPow2(pass, be.Y); ok {
+					facts.clearBits[bit] = true
+				}
+			}
+			return true
+		})
+	}
+	// Per pack/unpack body facts: shifts, conversions, OR'd flag bits.
+	inBody := func(fd *ast.FuncDecl, lower string, isPack bool) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				switch x.Op {
+				case token.SHL, token.SHR:
+					if _, whole := constPow2(pass, x); whole && x.Op == token.SHL {
+						return true // flag/limit constant, not a field shift
+					}
+					if k, ok := constIntVal(pass, x.Y); ok {
+						facts.shifts = append(facts.shifts, shiftUse{amount: k, pos: x.OpPos})
+					}
+				case token.OR:
+					if isPack {
+						for _, operand := range [...]ast.Expr{x.X, x.Y} {
+							if bit, ok := constPow2(pass, operand); ok {
+								facts.orBits[lower][bit] = true
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if w, ok := convWidth(pass, x); ok {
+					facts.convWidths[w] = true
+				}
+			}
+			return true
+		})
+	}
+	for name, fd := range facts.packFns {
+		inBody(fd, name, true)
+	}
+	for name, fd := range facts.unpackFns {
+		inBody(fd, name, false)
+	}
+	return facts
+}
+
+// checkShifts requires every constant shift in a pack/unpack body to
+// land on a declared field offset.
+func checkShifts(pass *analysis.Pass, spec []field, facts *pkgFacts) {
+	offsets := make(map[int]bool)
+	for _, f := range spec {
+		offsets[f.lo] = true
+	}
+	for _, s := range facts.shifts {
+		if !offsets[s.amount] {
+			pass.Reportf(s.pos, "shift by %d in a pack/unpack function does not match any declared task-word field offset %v", s.amount, specOffsets(spec))
+		}
+	}
+}
+
+// checkPairing requires an inverse for every packer and a packer for
+// every unpacker.
+func checkPairing(pass *analysis.Pass, spec []field, facts *pkgFacts) {
+	singleBits := make(map[int]bool)
+	for _, f := range spec {
+		if f.single() {
+			singleBits[f.lo] = true
+		}
+	}
+	for lower, fd := range facts.packFns {
+		suffix := strings.TrimPrefix(lower, "pack")
+		if _, ok := facts.unpackFns["unpack"+suffix]; ok {
+			continue
+		}
+		// Flag packers: every OR'd bit must be a declared single-bit
+		// field that the package also masks away with &^.
+		bits := facts.orBits[lower]
+		ok := len(bits) > 0
+		for bit := range bits {
+			if !singleBits[bit] || !facts.clearBits[bit] {
+				ok = false
+			}
+		}
+		if !ok {
+			pass.Reportf(fd.Pos(), "%s has no matching unpack%s and sets no declared flag bit that the package masks with &^", fd.Name.Name, suffix)
+		}
+	}
+	for lower, fd := range facts.unpackFns {
+		suffix := strings.TrimPrefix(lower, "unpack")
+		if _, ok := facts.packFns["pack"+suffix]; !ok {
+			pass.Reportf(fd.Pos(), "%s has no matching pack%s", fd.Name.Name, suffix)
+		}
+	}
+}
+
+// checkWitnesses requires the package to contain evidence of each
+// field's width, so widening or narrowing a field without updating its
+// guard is caught.
+func checkWitnesses(pass *analysis.Pass, spec []field, pos token.Pos, facts *pkgFacts) {
+	for _, f := range spec {
+		w := f.width()
+		switch {
+		case f.single():
+			if !facts.limits[f.lo] {
+				pass.Reportf(pos, "task-word flag field %s has no 1<<%d constant in the package", f, f.lo)
+			}
+		case facts.limits[w] || facts.convWidths[w]:
+			// witnessed by a `1 << width` guard or an exact-width conversion
+		default:
+			pass.Reportf(pos, "task-word field %s (width %d) has no width witness: no 1<<%d limit constant and no %d-bit conversion in pack/unpack functions", f, w, w, w)
+		}
+	}
+}
+
+func specOffsets(spec []field) []int {
+	var offs []int
+	for _, f := range spec {
+		offs = append(offs, f.lo)
+	}
+	return offs
+}
+
+// constPow2 reports the bit index when e is a constant power-of-two
+// integer expression.
+func constPow2(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !ok || v == 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(v), true
+}
+
+func constIntVal(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return int(v), ok
+}
+
+// convWidth reports the bit width when call is a conversion to a sized
+// integer type (uint32(x) → 32).
+func convWidth(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return 0, false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return 0, false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8, true
+	case types.Int16, types.Uint16:
+		return 16, true
+	case types.Int32, types.Uint32:
+		return 32, true
+	case types.Int64, types.Uint64:
+		return 64, true
+	}
+	return 0, false
+}

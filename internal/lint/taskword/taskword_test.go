@@ -1,0 +1,16 @@
+package taskword_test
+
+import (
+	"testing"
+
+	"github.com/ndflow/ndflow/internal/lint/linttest"
+	"github.com/ndflow/ndflow/internal/lint/taskword"
+)
+
+func TestTaskWordOK(t *testing.T) {
+	linttest.Run(t, taskword.Analyzer, "./testdata/src/ok")
+}
+
+func TestTaskWordBad(t *testing.T) {
+	linttest.Run(t, taskword.Analyzer, "./testdata/src/bad")
+}

@@ -1,0 +1,27 @@
+// Package bad is the taskword failing-case spec: an overlapping
+// declaration that also claims the sign bit, a drifted shift, a packer
+// that lost its unpack, an orphaned unpacker, and a flag packer whose
+// bit nothing ever masks away.
+package bad
+
+// flagBit is declared and set, but never masked with &^.
+const flagBit int64 = 1 << 61
+
+// slotLimit witnesses the slot field's 30-bit width.
+const slotLimit = 1 << 30
+
+// packWord's spec overlaps strand/slot at bit 31, claims the sign bit,
+// and declares a flag field (sign) with no 1<<63 constant anywhere.
+//
+//ndlint:taskword strand=0:31 slot=31:60 kind=61 sign=63 // want `overlap at bit 31` `sign bit` `no 1<<63 constant`
+func packWord(slot, id int32) int64 { // want `packWord has no matching unpackword`
+	return int64(slot)<<33 | int64(uint32(id)) // want `shift by 33`
+}
+
+func unpackGhost(t int64) int32 { // want `unpackGhost has no matching packghost`
+	return int32(t >> 31)
+}
+
+func packFlag(w int64) int64 { // want `sets no declared flag bit that the package masks with &\^`
+	return w | flagBit
+}

@@ -1,0 +1,29 @@
+// Package ok mirrors the engine's real packed task-word layout: a
+// declared spec, matched pack/unpack shifts, a flag bit that is both
+// set and masked, and width witnesses for every field. The analyzer
+// must report nothing here.
+package ok
+
+// kindBit marks a word dynamic.
+const kindBit int64 = 1 << 62
+
+// maxSlots is the slot width guard: slots stay below 2³⁰.
+const maxSlots = 1 << 30
+
+// packWord packs a run slot and strand ID into one word.
+//
+//ndlint:taskword strand=0:31 slot=32:61 kind=62
+func packWord(slot, id int32) int64 { return int64(slot)<<32 | int64(uint32(id)) }
+
+func unpackWord(t int64) (slot, id int32) { return int32(t >> 32), int32(uint32(t)) }
+
+// PackDyn sets the kind flag on a packed word.
+func PackDyn(slot, id int32) int64 { return kindBit | packWord(slot, id) }
+
+// IsDyn tests the flag; Strip masks it away.
+func IsDyn(t int64) bool { return t&kindBit != 0 }
+
+func Strip(t int64) int64 { return t &^ kindBit }
+
+// SlotOK is the width guard consumer.
+func SlotOK(n int) bool { return n < maxSlots }

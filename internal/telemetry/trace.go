@@ -102,7 +102,12 @@ type Event struct {
 
 // lane is one worker's append-only event slab. The mutex is
 // uncontended in steady state — only the owner appends; the stitcher
-// takes it briefly at run end.
+// takes it briefly at run end. Lanes live contiguously in
+// Tracer.lanes, so the struct is padded to a cache-line multiple
+// (held by ndlint's padalign analyzer) to keep neighbours from
+// false-sharing.
+//
+//ndlint:cacheline
 type lane struct {
 	mu sync.Mutex
 	ev []Event
@@ -155,6 +160,9 @@ func (t *Tracer) Workers() int { return len(t.lanes) - 1 }
 // external lane). Engine-level events (slot < 0) are dropped while no
 // traced run is in flight, so an idle engine's parked workers do not
 // grow the lanes between runs.
+//
+//ndlint:hotpath
+//ndlint:noalloc
 func (t *Tracer) Record(worker int, kind EventKind, slot, id int32, arg int64) {
 	lanes := t.lanes
 	if lanes == nil {
@@ -169,6 +177,7 @@ func (t *Tracer) Record(worker int, kind EventKind, slot, id int32, arg int64) {
 	}
 	ts := int64(time.Since(t.epoch))
 	l := &lanes[li]
+	//ndlint:allowblock per-worker lane mutex: the lane's own worker is the only steady-state locker; the stitcher contends once per run end
 	l.mu.Lock()
 	l.ev = append(l.ev, Event{TS: ts, Arg: arg, Slot: slot, ID: id, Worker: int32(worker), Kind: kind})
 	l.mu.Unlock()
